@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Every table and figure of the paper has a ``test_bench_*`` module here.
+The experiment benches run their full ``run()`` once (pedantic mode —
+these are end-to-end regenerations, not microbenchmarks) and print the
+paper-style report, so ``pytest benchmarks/ --benchmark-only -s`` both
+times and reproduces the evaluation section. Micro and ablation benches
+use ordinary statistical rounds.
+
+Workload sizes honour REPRO_SCALE (default 0.1).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.nexthop import NexthopRegistry
+from repro.workloads.synthetic_table import generate_table
+from repro.workloads.synthetic_updates import generate_update_trace
+
+BENCH_SEED = 20111206
+
+
+@pytest.fixture(scope="session")
+def bench_table():
+    """A shared IGR-like table for the micro benchmarks."""
+    rng = random.Random(BENCH_SEED)
+    registry = NexthopRegistry()
+    nexthops = registry.create_many(8)
+    table = generate_table(20_000, nexthops, rng)
+    return table, nexthops
+
+
+@pytest.fixture(scope="session")
+def bench_trace(bench_table):
+    table, nexthops = bench_table
+    rng = random.Random(BENCH_SEED + 1)
+    return generate_update_trace(table, 4_000, nexthops, rng)
+
+
+def run_once(benchmark, function):
+    """Run an end-to-end experiment exactly once under the benchmark."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

@@ -1,0 +1,26 @@
+"""Benchmarks for the Section 6/7 extension experiments."""
+
+from repro.experiments import igp_remap, outofband_snapshot, whiteholing_loops
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_whiteholing_loops(benchmark):
+    result = run_once(benchmark, whiteholing_loops.run)
+    print("\n" + whiteholing_loops.format_result(result))
+    by_scheme = {row.scheme: row for row in result.rows}
+    assert by_scheme["SMALTA (ORTC)"].loops == 0
+    assert by_scheme["Level-4 (whitehole)"].loops > 0
+
+
+def test_bench_igp_remap(benchmark):
+    result = run_once(benchmark, igp_remap.run)
+    print("\n" + igp_remap.format_result(result))
+    bursts = [row.update_downloads for row in result.rows]
+    assert bursts == sorted(bursts)
+
+
+def test_bench_outofband_snapshot(benchmark):
+    result = run_once(benchmark, outofband_snapshot.run)
+    print("\n" + outofband_snapshot.format_result(result))
+    assert all(row.equivalent for row in result.rows)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 10 (FIB downloads vs snapshot spacing)."""
+
+from repro.experiments import fig10_fib_downloads
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig10(benchmark):
+    result = run_once(benchmark, lambda: fig10_fib_downloads.run(size_divisor=8))
+    print("\n" + fig10_fib_downloads.format_result(result))
+    snapshot_totals = [row.snapshot_downloads for row in result.rows]
+    assert snapshot_totals == sorted(snapshot_totals, reverse=True)
+    bursts = [row.mean_burst for row in result.rows]
+    assert bursts == sorted(bursts)

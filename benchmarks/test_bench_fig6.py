@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 6 (AT size vs IGP nexthops)."""
+
+from repro.experiments import fig6_igp_nexthops
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig6(benchmark):
+    result = run_once(benchmark, fig6_igp_nexthops.run)
+    print("\n" + fig6_igp_nexthops.format_result(result))
+    percents = [row.prefix_percent for row in result.rows]
+    assert percents == sorted(percents)

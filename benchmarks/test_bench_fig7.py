@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 7 (aggregation vs effective nexthops)."""
+
+from repro.experiments import fig7_effective_nexthops
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig7(benchmark):
+    result = run_once(benchmark, fig7_effective_nexthops.run)
+    print("\n" + fig7_effective_nexthops.format_result(result))
+    effectives = [p.effective for p in result.points]
+    assert effectives == sorted(effectives)

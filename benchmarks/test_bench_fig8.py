@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 8 (AT drift on the IGR trace)."""
+
+from repro.experiments import fig8_update_drift
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig8(benchmark):
+    result = run_once(benchmark, fig8_update_drift.run)
+    print("\n" + fig8_update_drift.format_result(result))
+    for point in result.points:
+        assert point.update_percent >= point.snapshot_percent - 1e-9

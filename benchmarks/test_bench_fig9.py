@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 9 (AT drift on the RouteViews trace)."""
+
+from repro.experiments import fig9_routeviews_drift
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig9(benchmark):
+    result = run_once(benchmark, fig9_routeviews_drift.run)
+    print("\n" + fig9_routeviews_drift.format_result(result))
+    for point in result.points:
+        assert point.update_percent >= point.snapshot_percent - 1e-9

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the core operations (statistical rounds).
+
+These are the costs the paper discusses in Section 4.3: snapshot(OT)
+(paper: 200 ms – 1 s in C), per-update incorporation (paper: <1 µs in C),
+plus the substrate operations (Tree Bitmap build/lookup, the TaCo
+equivalence check) that the evaluation machinery relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.core.equivalence import semantically_equivalent
+from repro.core.ortc import ortc
+from repro.core.smalta import SmaltaState
+from repro.fib.treebitmap import TreeBitmap
+from repro.net.update import UpdateKind
+
+
+def make_state(table) -> SmaltaState:
+    state = SmaltaState(32)
+    for prefix, nexthop in table.items():
+        state.load(prefix, nexthop)
+    state.snapshot()
+    return state
+
+
+def test_bench_ortc_snapshot(benchmark, bench_table):
+    table, _ = bench_table
+    result = benchmark(lambda: ortc(table.items(), 32))
+    assert 0 < len(result) < len(table)
+
+
+def test_bench_smalta_snapshot(benchmark, bench_table):
+    table, _ = bench_table
+    state = make_state(table)
+    benchmark(state.snapshot)
+
+
+def test_bench_incremental_updates(benchmark, bench_table, bench_trace):
+    """Throughput of Insert/Delete over a realistic churn trace."""
+    table, _ = bench_table
+    state = make_state(table)
+    cycle = itertools.cycle(bench_trace)
+
+    def one_update():
+        update = next(cycle)
+        if update.kind is UpdateKind.ANNOUNCE:
+            state.insert(update.prefix, update.nexthop)
+        else:
+            try:
+                state.delete(update.prefix)
+            except KeyError:
+                pass
+
+    benchmark(one_update)
+
+
+def test_bench_tbm_build(benchmark, bench_table):
+    table, _ = bench_table
+    fib = benchmark(lambda: TreeBitmap.from_table(table, 32, 12, 4))
+    assert len(fib) == len(table)
+
+
+def test_bench_tbm_lookup(benchmark, bench_table):
+    table, _ = bench_table
+    fib = TreeBitmap.from_table(table, 32, 12, 4)
+    rng = random.Random(7)
+    addresses = [rng.getrandbits(32) for _ in range(1024)]
+    cycle = itertools.cycle(addresses)
+    benchmark(lambda: fib.lookup(next(cycle)))
+
+
+def test_bench_equivalence_check(benchmark, bench_table):
+    table, _ = bench_table
+    aggregated = ortc(table.items(), 32)
+    assert benchmark(lambda: semantically_equivalent(table, aggregated, 32))

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 1 (five access routers, SMALTA vs L1/L2)."""
+
+from repro.experiments import table1_access_routers
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, table1_access_routers.run)
+    print("\n" + table1_access_routers.format_result(result))
+    for row in result.rows:
+        assert row.at.entries <= row.l2.entries <= row.l1.entries <= row.ot.entries

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 2 (IGR-1 before/after 12h of updates)."""
+
+from repro.experiments import table2_igr
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_table2(benchmark):
+    result = run_once(benchmark, table2_igr.run)
+    print("\n" + table2_igr.format_result(result))
+    assert result.initial_at.entries <= result.initial_l2.entries
+    assert result.initial_l2.entries <= result.initial_l1.entries

@@ -1,0 +1,14 @@
+"""Benchmark: the Section 4.3 timing measurements."""
+
+from repro.experiments import timing
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_timing(benchmark):
+    result = run_once(benchmark, timing.run)
+    print("\n" + timing.format_result(result))
+    durations = [t.duration_s for t in result.snapshot_timings]
+    # Snapshot duration grows with the number of nexthops (paper: 200ms
+    # for tens of nexthops -> ~1s for ~650).
+    assert durations[-1] >= durations[0]

@@ -1,0 +1,75 @@
+"""A decade of RouteViews growth vs SMALTA's headroom (paper Section 1/4).
+
+The paper's headline operational claim: halving FIB memory buys "roughly
+four years of routing table growth at current rates". This study
+synthesizes the 2001–2010 RouteViews tables, aggregates each, and finds
+for every year Y the later year whose *unaggregated* FIB is as large as
+Y's *aggregated* one — the lifetime extension.
+
+Run:  python examples/routeviews_study.py           (~1 min at default scale)
+      REPRO_SCALE=0.03 python examples/routeviews_study.py   (quick look)
+"""
+
+import random
+
+from repro.analysis.metrics import fib_metrics
+from repro.analysis.reporting import format_table
+from repro.core.ortc import ortc
+from repro.workloads.routeviews import ROUTEVIEWS_TABLE_SIZES, build_routeviews_scenario
+
+IGP_NEXTHOPS = 8
+
+
+def main() -> None:
+    years = sorted(ROUTEVIEWS_TABLE_SIZES)
+    rows = []
+    memory = {}
+    aggregated_memory = {}
+    for year in years:
+        rng = random.Random(year)
+        scenario = build_routeviews_scenario(year, rng)
+        table, _ = scenario.with_igp_nexthops(IGP_NEXTHOPS)
+        original = fib_metrics(table)
+        aggregated = fib_metrics(ortc(table.items(), 32))
+        memory[year] = original.memory_bytes
+        aggregated_memory[year] = aggregated.memory_bytes
+        rows.append(
+            (
+                year,
+                original.entries,
+                aggregated.entries,
+                f"{100 * aggregated.entries / original.entries:.1f}%",
+                original.memory_bytes,
+                aggregated.memory_bytes,
+                f"{100 * aggregated.memory_bytes / original.memory_bytes:.1f}%",
+            )
+        )
+        print(f"  {year}: done ({original.entries:,} prefixes)")
+
+    print()
+    print(
+        format_table(
+            ["year", "#(OT)", "#(AT)", "#%", "M(OT) B", "M(AT) B", "M%"],
+            rows,
+            title=f"RouteViews {years[0]}-{years[-1]}, {IGP_NEXTHOPS} IGP nexthops",
+        )
+    )
+
+    # Lifetime extension: how many years of growth does aggregation absorb?
+    print("\nLifetime extension (paper: roughly four years):")
+    for year in years:
+        headroom = memory[year]
+        extension = 0
+        for later in years:
+            if later > year and aggregated_memory[later] <= headroom:
+                extension = later - year
+        if extension:
+            print(
+                f"  a FIB sized for {year}'s unaggregated table still fits "
+                f"the aggregated table of {year + extension} "
+                f"(+{extension} years)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Why SMALTA refuses to whitehole: a forwarding-loop hunt (Sections 6/7).
+
+Builds the textbook two-border-router network, aggregates both FIBs with
+every scheme, and traces actual packets — printing a concrete looping
+path for the whiteholing schemes and the same packet's fate under SMALTA.
+
+Run:  python examples/whiteholing_loop_hunt.py
+"""
+
+import random
+
+from repro.baselines import level2, level4
+from repro.core.ortc import ortc
+from repro.net.nexthop import DROP
+from repro.netsim import (
+    Outcome,
+    aggregate_network,
+    build_two_border_scenario,
+    loop_census,
+    trace_path,
+)
+from repro.netsim.forwarding import probe_addresses
+
+
+def dotted(address: int) -> str:
+    return ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def main() -> None:
+    rng = random.Random(11)
+    network = build_two_border_scenario(rng, prefix_count=2_000)
+    print(
+        "Topology: R1 <-> R2; interleaved address blocks; R2 carries a "
+        "default route via R1 (its transit).\n"
+    )
+
+    schemes = [
+        ("SMALTA (ORTC)", ortc),
+        ("Level-2", level2),
+        ("Level-4 whiteholing", level4),
+    ]
+    looping_address = None
+    for name, scheme in schemes:
+        aggregated = aggregate_network(network, scheme)
+        census = loop_census(aggregated)
+        entries = sum(len(aggregated.router(r).table) for r in aggregated.names())
+        print(
+            f"{name:>22}: {entries:>6,} entries   "
+            f"delivered={census[Outcome.DELIVERED]:,} "
+            f"dropped={census[Outcome.DROPPED]:,} "
+            f"LOOPS={census[Outcome.LOOP]:,}"
+        )
+        if census[Outcome.LOOP] and looping_address is None:
+            for address in probe_addresses(network, aggregated):
+                if trace_path(aggregated, "R1", address).outcome is Outcome.LOOP:
+                    looping_address = (address, aggregated)
+                    break
+
+    if looping_address is None:
+        print("\nno looping packet found (try another seed)")
+        return
+
+    address, whiteholed = looping_address
+    print(f"\nFollowing a packet to {dotted(address)} (unrouted in reality):")
+    exact_result = trace_path(network, "R1", address)
+    print(
+        f"  exact FIBs:      {' -> '.join(exact_result.path)}  "
+        f"[{exact_result.outcome.value}]"
+    )
+    loop_result = trace_path(whiteholed, "R1", address)
+    path = " -> ".join(loop_result.path)
+    print(f"  whiteholed FIBs: {path}  [{loop_result.outcome.value}!]")
+    r1 = whiteholed.router("R1").lookup(address)
+    r2 = whiteholed.router("R2").lookup(address)
+    print(
+        f"\n  R1 whiteholed the space toward {r1}; R2's view sends it to "
+        f"{r2} — the packet ping-pongs until TTL death."
+    )
+    original = network.router("R1").lookup(address)
+    print(
+        f"  (the exact FIB said: {original if original != DROP else 'no route — drop'})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a full reproduction of *SMALTA: Practical and Near-Optimal FIB
+Aggregation* (Uzmi et al., ACM CoNEXT 2011).
+
+Quickstart::
+
+    from repro import Prefix, NexthopRegistry, SmaltaManager, RouteUpdate
+
+    registry = NexthopRegistry()
+    a, b = registry.create_many(2)
+    manager = SmaltaManager()
+    manager.apply(RouteUpdate.announce(Prefix.from_string("128.16.0.0/15"), b))
+    manager.apply(RouteUpdate.announce(Prefix.from_string("128.18.0.0/15"), a))
+    manager.apply(RouteUpdate.announce(Prefix.from_string("128.16.0.0/16"), a))
+    manager.end_of_rib()            # initial snapshot(OT)
+    print(manager.fib_table())      # the paper's Figure 2: 3 entries -> 2
+
+Subpackages: ``core`` (ORTC + SMALTA), ``baselines`` (L1/L2/L3/L4),
+``fib`` (Tree Bitmap), ``net`` (prefixes/nexthops/updates), ``bgp``
+(best-path machinery), ``router`` (the Quagga-analogue pipeline),
+``workloads`` (synthetic tables and traces), ``analysis`` and
+``experiments`` (every table and figure of the paper).
+"""
+
+from repro.core import (
+    DownloadKind,
+    DownloadLog,
+    FibDownload,
+    FibTrie,
+    SmaltaManager,
+    SmaltaState,
+    ortc,
+    semantically_equivalent,
+)
+from repro.net import (
+    DROP,
+    Nexthop,
+    NexthopRegistry,
+    Prefix,
+    RouteUpdate,
+    UpdateKind,
+    UpdateTrace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DROP",
+    "DownloadKind",
+    "DownloadLog",
+    "FibDownload",
+    "FibTrie",
+    "Nexthop",
+    "NexthopRegistry",
+    "Prefix",
+    "RouteUpdate",
+    "SmaltaManager",
+    "SmaltaState",
+    "UpdateKind",
+    "UpdateTrace",
+    "__version__",
+    "ortc",
+    "semantically_equivalent",
+]

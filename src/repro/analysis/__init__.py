@@ -1,0 +1,18 @@
+"""Measurement and reporting helpers shared by the experiments."""
+
+from repro.analysis.metrics import (
+    FibMetrics,
+    aggregation_percent,
+    fib_metrics,
+    table_effective_nexthops,
+)
+from repro.analysis.reporting import format_percent, format_table
+
+__all__ = [
+    "FibMetrics",
+    "aggregation_percent",
+    "fib_metrics",
+    "format_percent",
+    "format_table",
+    "table_effective_nexthops",
+]

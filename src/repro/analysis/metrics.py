@@ -1,0 +1,82 @@
+"""FIB metrics: the #(·), M(·), T(·) triple every table in the paper reports.
+
+- #(·): number of table entries,
+- M(·): Tree Bitmap memory in bytes (Section 4.2's configuration),
+- T(·): expected memory accesses per lookup, uniform traffic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.fib.lookup_stats import (
+    average_lookup_accesses,
+    entry_weighted_lookup_accesses,
+)
+from repro.fib.memory import MemoryModel, PAPER_MODEL, tbm_memory_bytes
+from repro.fib.treebitmap import TreeBitmap
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.workloads.distributions import effective_nexthops
+
+
+@dataclass(frozen=True)
+class FibMetrics:
+    """One table's FIB cost triple (plus the per-entry T variant).
+
+    ``avg_accesses`` is the paper's T(·): expected memory accesses with
+    every address in the covered space equally likely. ``entry_accesses``
+    weights each route equally instead (useful when route popularity,
+    not address mass, drives traffic).
+    """
+
+    entries: int
+    memory_bytes: int
+    avg_accesses: float
+    entry_accesses: float = 0.0
+
+    def as_percent_of(self, other: "FibMetrics") -> tuple[float, float, float]:
+        """(#%, M%, T%) relative to ``other`` (the paper's percent rows)."""
+        return (
+            100.0 * self.entries / other.entries if other.entries else 0.0,
+            100.0 * self.memory_bytes / other.memory_bytes
+            if other.memory_bytes
+            else 0.0,
+            100.0 * self.avg_accesses / other.avg_accesses
+            if other.avg_accesses
+            else 0.0,
+        )
+
+
+def fib_metrics(
+    table: Mapping[Prefix, Nexthop],
+    width: int = 32,
+    initial_stride: int = 12,
+    stride: int = 4,
+    model: MemoryModel = PAPER_MODEL,
+) -> FibMetrics:
+    """Build the Tree Bitmap for ``table`` and measure the triple."""
+    fib = TreeBitmap.from_table(
+        table, width=width, initial_stride=initial_stride, stride=stride
+    )
+    return FibMetrics(
+        entries=len(table),
+        memory_bytes=tbm_memory_bytes(fib, model),
+        avg_accesses=average_lookup_accesses(fib),
+        entry_accesses=entry_weighted_lookup_accesses(fib),
+    )
+
+
+def aggregation_percent(aggregated_entries: int, original_entries: int) -> float:
+    """#(AT) as a percent of #(OT) — the paper's efficiency measure."""
+    if original_entries == 0:
+        return 0.0
+    return 100.0 * aggregated_entries / original_entries
+
+
+def table_effective_nexthops(table: Mapping[Prefix, Nexthop]) -> float:
+    """E(R) of a prefix table (Section 4.3's entropy formula)."""
+    counts = Counter(table.values())
+    return effective_nexthops(list(counts.values()))

@@ -1,0 +1,62 @@
+"""Plain-text table and series formatting for the experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    return f"{value:.{decimals}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A boxless aligned ASCII table (numbers right-aligned)."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {columns}")
+        cells.append([_render(cell) for cell in row])
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(cells[0]))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[i]) if _numeric(cell) else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[tuple[object, object]], unit: str = ""
+) -> str:
+    """A one-line-per-point rendering of a figure series."""
+    lines = [f"{name}:"]
+    for x, y in points:
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"  {_render(x):>10} -> {_render(y)}{suffix}")
+    return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:,.3f}" if abs(cell) < 100 else f"{cell:,.1f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("%", "")
+    return stripped.lstrip("-").isdigit() if stripped else False

@@ -1,0 +1,24 @@
+"""Baseline FIB aggregation schemes SMALTA is evaluated against.
+
+- :func:`level1` / :func:`level2` — the simple schemes of Zhao et al.
+  (Infocom 2010) used head-to-head in Tables 1 and 2: L1 drops more
+  specific prefixes covered by an equal-nexthop less specific; L2
+  additionally merges equal-nexthop sibling prefixes.
+- :func:`level3` / :func:`level4` — the *whiteholing* variants the paper
+  discusses (and rejects for deployment, Section 6): they assign real
+  nexthops to unrouted space for better compression at the cost of
+  potential routing loops. :func:`whiteholed_address_count` quantifies
+  that risk.
+"""
+
+from repro.baselines.level1 import level1
+from repro.baselines.level2 import level2
+from repro.baselines.level34 import level3, level4, whiteholed_address_count
+
+__all__ = [
+    "level1",
+    "level2",
+    "level3",
+    "level4",
+    "whiteholed_address_count",
+]

@@ -1,0 +1,83 @@
+"""Level-1 aggregation (Zhao et al.): drop covered equal-nexthop specifics.
+
+"Similar to how prefix aggregation is done in BGP today, L1 drops more
+specific prefixes when a less specific prefix has the same nexthop"
+(Section 4). Semantics are preserved because the removed entry's space
+resolves, via the covering entry, to the same nexthop — *provided* the
+covering entry is the nearest one, which the top-down walk guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+
+
+class _LNode:
+    __slots__ = ("left", "right", "label")
+
+    def __init__(self) -> None:
+        self.left: Optional[_LNode] = None
+        self.right: Optional[_LNode] = None
+        self.label: Optional[Nexthop] = None
+
+
+def build_label_trie(
+    entries: Iterable[tuple[Prefix, Nexthop]], width: int
+) -> _LNode:
+    """A plain single-label binary trie (shared by the L-series schemes)."""
+    root = _LNode()
+    for prefix, nexthop in entries:
+        if prefix.width != width:
+            raise ValueError(f"{prefix} has width {prefix.width}, expected {width}")
+        node = root
+        for index in range(prefix.length):
+            bit = prefix.bit(index)
+            nxt = node.right if bit else node.left
+            if nxt is None:
+                nxt = _LNode()
+                if bit:
+                    node.right = nxt
+                else:
+                    node.left = nxt
+            node = nxt
+        node.label = nexthop
+    return root
+
+
+def collect_entries(root: _LNode, width: int) -> dict[Prefix, Nexthop]:
+    out: dict[Prefix, Nexthop] = {}
+    stack: list[tuple[_LNode, Prefix]] = [(root, Prefix.root(width))]
+    while stack:
+        node, prefix = stack.pop()
+        if node.label is not None:
+            out[prefix] = node.label
+        if node.left is not None:
+            stack.append((node.left, prefix.child(0)))
+        if node.right is not None:
+            stack.append((node.right, prefix.child(1)))
+    return out
+
+
+def strip_covered(root: _LNode) -> None:
+    """Remove labels equal to the nearest labeled ancestor's, in place."""
+    stack: list[tuple[_LNode, Optional[Nexthop]]] = [(root, None)]
+    while stack:
+        node, inherited = stack.pop()
+        if node.label is not None and node.label == inherited:
+            node.label = None
+        effective = node.label if node.label is not None else inherited
+        for child in (node.left, node.right):
+            if child is not None:
+                stack.append((child, effective))
+
+
+def level1(
+    entries: Iterable[tuple[Prefix, Nexthop]], width: int = 32
+) -> dict[Prefix, Nexthop]:
+    """Aggregate a table with the Level-1 scheme; returns the new table."""
+    root = build_label_trie(entries, width)
+    strip_covered(root)
+    return collect_entries(root, width)

@@ -1,0 +1,62 @@
+"""Level-2 aggregation (Zhao et al.): L1 plus sibling merging.
+
+"L2 additionally aggregates sibling prefixes having the same nexthop"
+(Section 4). A post-order walk merges sibling *entries* into their parent
+(cascading upward as merges enable further merges), then the Level-1
+strip removes entries made redundant by the new, shorter covers.
+
+Both steps preserve semantics: a merged pair covered exactly the
+parent's space with one nexthop, and more-specific entries always win
+the longest-prefix match regardless of the merge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.baselines.level1 import (
+    _LNode,
+    build_label_trie,
+    collect_entries,
+    strip_covered,
+)
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+
+
+def merge_siblings(node: _LNode) -> None:
+    """Post-order sibling merge, in place.
+
+    When both children carry the same label, the label moves to the
+    parent — unless the parent already has a *different* label, in which
+    case the children must stay (two entries cannot share a prefix).
+    """
+    if node.left is not None:
+        merge_siblings(node.left)
+    if node.right is not None:
+        merge_siblings(node.right)
+    left, right = node.left, node.right
+    if (
+        left is not None
+        and right is not None
+        and left.label is not None
+        and left.label == right.label
+    ):
+        if node.label is None:
+            node.label = left.label
+            left.label = None
+            right.label = None
+        elif node.label == left.label:
+            # The parent entry already covers both siblings.
+            left.label = None
+            right.label = None
+
+
+def level2(
+    entries: Iterable[tuple[Prefix, Nexthop]], width: int = 32
+) -> dict[Prefix, Nexthop]:
+    """Aggregate a table with the Level-2 scheme; returns the new table."""
+    root = build_label_trie(entries, width)
+    merge_siblings(root)
+    strip_covered(root)
+    return collect_entries(root, width)

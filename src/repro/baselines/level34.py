@@ -1,0 +1,243 @@
+"""Level-3/Level-4 whiteholing aggregation, and the loop-risk metric.
+
+The paper (Sections 4 and 6) notes that Zhao et al.'s Level-3 and
+Level-4 achieve better compression by "whiteholing": assigning real
+nexthops to non-routable space, which risks routing loops. SMALTA
+deliberately refuses to do this; these implementations exist so the
+trade-off can be measured.
+
+- :func:`level3` — L2 extended with hole-absorbing sibling merges: an
+  entry may expand over an unrouted sibling half.
+- :func:`level4` — optimal aggregation *given* that unrouted space is a
+  wildcard: the ORTC dynamic program with holes contributing no
+  constraint. This is the best any whiteholing scheme can do by entry
+  count.
+- :func:`whiteholed_address_count` — how many addresses that the original
+  table leaves unrouted acquire a real nexthop in the aggregated table
+  (the space at risk of looping).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.baselines.level1 import (
+    _LNode,
+    build_label_trie,
+    collect_entries,
+    strip_covered,
+)
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+
+# -- Level 3 -------------------------------------------------------------
+
+
+def _merge_with_holes(node: _LNode, covered_above: bool) -> None:
+    """Post-order sibling merge that may absorb an *unrouted* sibling half.
+
+    Absorption is only legal when the absorbed half is truly unrouted
+    (no labels inside it and no ancestor label covering it) — otherwise
+    routed space would change nexthop, which even whiteholing forbids.
+    Routed space is preserved; the absorbed hole is what gets whiteholed.
+    """
+    covered_here = covered_above or node.label is not None
+    left, right = node.left, node.right
+    if left is not None:
+        _merge_with_holes(left, covered_here)
+    if right is not None:
+        _merge_with_holes(right, covered_here)
+
+    # The plain L2 sibling merge.
+    if (
+        left is not None
+        and right is not None
+        and left.label is not None
+        and left.label == right.label
+    ):
+        if node.label is None:
+            node.label = left.label
+            left.label = right.label = None
+        elif node.label == left.label:
+            left.label = right.label = None
+
+    # Hole absorption: parent slot free, no ancestor cover, one labeled
+    # child whose sibling subtree carries no label at all.
+    if node.label is None and not covered_above:
+        for labeled, hole in ((left, right), (right, left)):
+            if (
+                labeled is not None
+                and labeled.label is not None
+                and (hole is None or _subtree_unlabeled(hole))
+            ):
+                node.label = labeled.label
+                labeled.label = None
+                break
+
+
+def _subtree_unlabeled(node: _LNode) -> bool:
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.label is not None:
+            return False
+        stack.extend(c for c in (current.left, current.right) if c is not None)
+    return True
+
+
+def level3(
+    entries: Iterable[tuple[Prefix, Nexthop]], width: int = 32
+) -> dict[Prefix, Nexthop]:
+    """Greedy whiteholing aggregation (L2 + hole-absorbing merges)."""
+    root = build_label_trie(entries, width)
+    _merge_with_holes(root, covered_above=False)
+    strip_covered(root)
+    return collect_entries(root, width)
+
+
+# -- Level 4 -------------------------------------------------------------
+
+
+class _WNode:
+    __slots__ = ("prefix", "left", "right", "label", "eff", "nhset")
+
+    def __init__(self, prefix: Prefix) -> None:
+        self.prefix = prefix
+        self.left: Optional[_WNode] = None
+        self.right: Optional[_WNode] = None
+        self.label: Optional[Nexthop] = None
+        self.eff: Nexthop = DROP
+        self.nhset: frozenset[Nexthop] = frozenset()
+
+
+def level4(
+    entries: Iterable[tuple[Prefix, Nexthop]], width: int = 32
+) -> dict[Prefix, Nexthop]:
+    """Optimal whiteholing aggregation: ORTC with holes unconstrained.
+
+    Identical to :func:`repro.core.ortc.ortc` except that an unrouted
+    leaf contributes the *empty* candidate set (no constraint) instead of
+    {DROP}; the merge treats an empty side as fully permissive.
+    """
+    root = _WNode(Prefix.root(width))
+    for prefix, nexthop in entries:
+        if prefix.width != width:
+            raise ValueError(f"{prefix} has width {prefix.width}, expected {width}")
+        node = root
+        for index in range(prefix.length):
+            bit = prefix.bit(index)
+            nxt = node.right if bit else node.left
+            if nxt is None:
+                nxt = _WNode(node.prefix.child(bit))
+                if bit:
+                    node.right = nxt
+                else:
+                    node.left = nxt
+            node = nxt
+        node.label = nexthop
+
+    # Bottom-up candidate sets (empty set = "anything goes").
+    stack: list[tuple[_WNode, Nexthop, bool]] = [(root, DROP, False)]
+    while stack:
+        node, inherited, expanded = stack.pop()
+        eff = node.label if node.label is not None else inherited
+        if not expanded:
+            node.eff = eff
+            stack.append((node, inherited, True))
+            for child in (node.left, node.right):
+                if child is not None:
+                    stack.append((child, eff, False))
+            continue
+        if node.left is None and node.right is None:
+            node.nhset = frozenset() if eff == DROP else frozenset((eff,))
+        else:
+            phantom = frozenset() if eff == DROP else frozenset((eff,))
+            left_set = node.left.nhset if node.left is not None else phantom
+            right_set = node.right.nhset if node.right is not None else phantom
+            if not left_set:
+                node.nhset = right_set
+            elif not right_set:
+                node.nhset = left_set
+            else:
+                inter = left_set & right_set
+                node.nhset = inter if inter else left_set | right_set
+
+    # Top-down assignment.
+    out: dict[Prefix, Nexthop] = {}
+    walk: list[tuple[_WNode, Nexthop]] = [(root, DROP)]
+    while walk:
+        node, assigned = walk.pop()
+        if not node.nhset or assigned in node.nhset:
+            choice = assigned
+        else:
+            choice = min(node.nhset)
+            out[node.prefix] = choice
+        if node.left is None and node.right is None:
+            continue
+        for bit, child in ((0, node.left), (1, node.right)):
+            if child is not None:
+                walk.append((child, choice))
+            elif node.eff not in (choice, DROP):
+                out[node.prefix.child(bit)] = node.eff
+    return out
+
+
+# -- loop-risk metric ------------------------------------------------------
+
+
+class _CNode:
+    __slots__ = ("left", "right", "label_a", "label_b")
+
+    def __init__(self) -> None:
+        self.left: Optional[_CNode] = None
+        self.right: Optional[_CNode] = None
+        self.label_a: Optional[Nexthop] = None
+        self.label_b: Optional[Nexthop] = None
+
+
+def whiteholed_address_count(
+    original: Mapping[Prefix, Nexthop],
+    aggregated: Mapping[Prefix, Nexthop],
+    width: int = 32,
+) -> int:
+    """Addresses unrouted by ``original`` but routed by ``aggregated``.
+
+    Zero for any semantics-preserving scheme (SMALTA, L1, L2); positive
+    for whiteholing schemes, measuring the space at risk of loops.
+    """
+    root = _CNode()
+    for attr, table in (("label_a", original), ("label_b", aggregated)):
+        for prefix, nexthop in table.items():
+            node = root
+            for index in range(prefix.length):
+                bit = prefix.bit(index)
+                nxt = node.right if bit else node.left
+                if nxt is None:
+                    nxt = _CNode()
+                    if bit:
+                        node.right = nxt
+                    else:
+                        node.left = nxt
+                node = nxt
+            setattr(node, attr, nexthop)
+
+    total = 0
+    stack: list[tuple[_CNode, Nexthop, Nexthop, int]] = [(root, DROP, DROP, 0)]
+    while stack:
+        node, eff_a, eff_b, depth = stack.pop()
+        if node.label_a is not None:
+            eff_a = node.label_a
+        if node.label_b is not None:
+            eff_b = node.label_b
+        leaf_space = 1 << (width - depth - 1) if depth < width else 1
+        if node.left is None and node.right is None:
+            if eff_a == DROP and eff_b != DROP:
+                total += 1 << (width - depth)
+            continue
+        for child in (node.left, node.right):
+            if child is not None:
+                stack.append((child, eff_a, eff_b, depth + 1))
+            elif eff_a == DROP and eff_b != DROP:
+                total += leaf_space
+    return total

@@ -1,0 +1,28 @@
+"""BGP machinery: per-peer RIBs, best-path selection, End-of-RIB sessions.
+
+The paper derives its FIB update streams from BGP: iBGP feeds from Tier-1
+IGRs (already best-path-selected) and RouteViews eBGP feeds run through
+"a simple best-path selection policy" (Section 4.1.2). This package
+implements that substrate: Adj-RIB-In per peer, a deterministic decision
+process, a Loc-RIB that emits the non-aggregated update stream SMALTA
+consumes, and RFC 4724-style End-of-RIB session handling that drives
+SMALTA's startup behaviour (Section 2).
+"""
+
+from repro.bgp.attributes import Origin, PathAttributes
+from repro.bgp.bestpath import best_route, compare_routes
+from repro.bgp.graceful_restart import GracefulRestartManager
+from repro.bgp.rib import LocRib, Route
+from repro.bgp.session import PeerSession, SessionManager
+
+__all__ = [
+    "GracefulRestartManager",
+    "LocRib",
+    "Origin",
+    "PathAttributes",
+    "PeerSession",
+    "Route",
+    "SessionManager",
+    "best_route",
+    "compare_routes",
+]

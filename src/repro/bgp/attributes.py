@@ -1,0 +1,42 @@
+"""BGP path attributes — the inputs to the best-path decision process."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Origin(enum.IntEnum):
+    """RFC 4271 origin codes; lower is preferred."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+@dataclass(frozen=True)
+class PathAttributes:
+    """The attribute subset our decision process consults.
+
+    ``as_path`` is the AS sequence (only its length matters to the
+    decision); ``med`` is compared across all routes (always-compare-MED,
+    the simple policy the paper's RouteViews processing implies).
+    """
+
+    local_pref: int = 100
+    as_path: tuple[int, ...] = field(default_factory=tuple)
+    origin: Origin = Origin.IGP
+    med: int = 0
+
+    @property
+    def as_path_length(self) -> int:
+        return len(self.as_path)
+
+    def prepended(self, asn: int, times: int = 1) -> "PathAttributes":
+        """A copy with ``asn`` prepended (AS-path padding)."""
+        return PathAttributes(
+            local_pref=self.local_pref,
+            as_path=(asn,) * times + self.as_path,
+            origin=self.origin,
+            med=self.med,
+        )

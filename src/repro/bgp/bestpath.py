@@ -1,0 +1,53 @@
+"""The best-path decision process ("a simple best-path selection policy").
+
+Deterministic subset of the standard BGP decision process:
+
+1. highest LOCAL_PREF,
+2. shortest AS_PATH,
+3. lowest ORIGIN (IGP < EGP < INCOMPLETE),
+4. lowest MED (compared across peers — always-compare-MED),
+5. lowest peer key (the "lowest router-id" tie-break).
+
+Total and deterministic, so the Loc-RIB is a pure function of the
+Adj-RIB-Ins — a property the integration tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.bgp.rib import Route
+
+
+def preference_key(route: "Route") -> tuple:
+    """Sort key: smaller is better."""
+    attributes = route.attributes
+    return (
+        -attributes.local_pref,
+        attributes.as_path_length,
+        int(attributes.origin),
+        attributes.med,
+        route.peer.key,
+    )
+
+
+def compare_routes(a: "Route", b: "Route") -> int:
+    """-1 when ``a`` is preferred, +1 when ``b`` is, never 0 (peer breaks ties)."""
+    key_a, key_b = preference_key(a), preference_key(b)
+    if key_a < key_b:
+        return -1
+    if key_b < key_a:
+        return 1
+    raise AssertionError("distinct routes from one peer cannot tie")
+
+
+def best_route(routes: Iterable["Route"]) -> Optional["Route"]:
+    """The winner of the decision process, or None for no candidates."""
+    best: Optional["Route"] = None
+    best_key: Optional[tuple] = None
+    for route in routes:
+        key = preference_key(route)
+        if best_key is None or key < best_key:
+            best, best_key = route, key
+    return best

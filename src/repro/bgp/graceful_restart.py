@@ -1,0 +1,122 @@
+"""BGP Graceful Restart (RFC 4724) — the paper's own reference point.
+
+Section 2 grounds two SMALTA behaviours in Graceful Restart: the
+End-of-RIB marker gates the initial snapshot, and snapshot deltas are
+downloaded "essentially [as] is done today in the context of Graceful
+Restart". This module completes the substrate: when a GR-capable peer's
+session drops, its routes are *retained and marked stale* (forwarding
+continues — no FIB churn), and they are flushed only when the restart
+timer expires or when the peer returns and its fresh End-of-RIB shows
+which routes did not come back.
+
+The FIB-facing consequence is exactly what SMALTA wants: a restarting
+peer causes zero FIB downloads unless routes actually change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bgp.rib import LocRib, Route
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate
+
+#: RFC 4724's suggested default Restart Time is 120 seconds.
+DEFAULT_RESTART_TIME_S = 120.0
+
+
+@dataclass
+class _PeerRestartState:
+    restarting: bool = False
+    deadline: float = 0.0
+    stale: set[Prefix] = field(default_factory=set)
+
+
+class GracefulRestartManager:
+    """Stale-path retention over a LocRib, with restart timers.
+
+    Drive it with a logical clock: every method takes ``now`` (seconds).
+    All route changes come back as :class:`RouteUpdate` lists, ready for
+    the SMALTA manager.
+    """
+
+    def __init__(
+        self,
+        loc_rib: Optional[LocRib] = None,
+        restart_time_s: float = DEFAULT_RESTART_TIME_S,
+    ) -> None:
+        self.loc_rib = loc_rib if loc_rib is not None else LocRib()
+        self.restart_time_s = restart_time_s
+        self._peers: dict[Nexthop, _PeerRestartState] = {}
+
+    def _state(self, peer: Nexthop) -> _PeerRestartState:
+        return self._peers.setdefault(peer, _PeerRestartState())
+
+    # -- announcements --------------------------------------------------------
+
+    def announce(self, route: Route, now: float = 0.0) -> list[RouteUpdate]:
+        """A peer announces a route; refreshes any stale marking."""
+        self._state(route.peer).stale.discard(route.prefix)
+        return self.loc_rib.announce(route, now)
+
+    def withdraw(
+        self, peer: Nexthop, prefix: Prefix, now: float = 0.0
+    ) -> list[RouteUpdate]:
+        self._state(peer).stale.discard(prefix)
+        return self.loc_rib.withdraw(prefix, peer, now)
+
+    # -- session events --------------------------------------------------------
+
+    def peer_down_graceful(self, peer: Nexthop, now: float) -> list[RouteUpdate]:
+        """GR-capable session loss: retain and mark stale. No updates —
+        that silence is the whole point of Graceful Restart."""
+        state = self._state(peer)
+        state.restarting = True
+        state.deadline = now + self.restart_time_s
+        state.stale = set(self.loc_rib.prefixes_from(peer))
+        return []
+
+    def peer_down_hard(self, peer: Nexthop, now: float) -> list[RouteUpdate]:
+        """Non-GR session loss: classic immediate withdrawal of everything."""
+        state = self._state(peer)
+        state.restarting = False
+        state.stale.clear()
+        return self.loc_rib.drop_peer(peer, now)
+
+    def peer_restarted(self, peer: Nexthop) -> None:
+        """The session re-established; re-announcements will now refresh
+        routes. Stale entries persist until this peer's End-of-RIB."""
+        self._state(peer).restarting = False
+
+    def end_of_rib(self, peer: Nexthop, now: float) -> list[RouteUpdate]:
+        """The restarted peer finished re-advertising: flush whatever it
+        did not refresh (RFC 4724 §4.1)."""
+        return self._flush(peer, now)
+
+    def tick(self, now: float) -> list[RouteUpdate]:
+        """Expire restart timers; flush stale routes of peers that never
+        came back."""
+        updates: list[RouteUpdate] = []
+        for peer, state in self._peers.items():
+            if state.restarting and now >= state.deadline:
+                state.restarting = False
+                updates.extend(self._flush(peer, now))
+        return updates
+
+    def _flush(self, peer: Nexthop, now: float) -> list[RouteUpdate]:
+        state = self._state(peer)
+        updates: list[RouteUpdate] = []
+        for prefix in sorted(state.stale):
+            updates.extend(self.loc_rib.withdraw(prefix, peer, now))
+        state.stale.clear()
+        return updates
+
+    # -- introspection -----------------------------------------------------------
+
+    def stale_count(self, peer: Nexthop) -> int:
+        return len(self._state(peer).stale)
+
+    def is_restarting(self, peer: Nexthop) -> bool:
+        return self._state(peer).restarting

@@ -1,0 +1,112 @@
+"""Adj-RIB-In and Loc-RIB: from peer announcements to FIB updates.
+
+The Loc-RIB recomputes the best route per prefix on every change and
+emits the difference as :class:`~repro.net.update.RouteUpdate` objects —
+exactly the non-aggregated stream of Figure 1 that feeds SMALTA (after
+BGP→IGP nexthop resolution, which the router pipeline applies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.bestpath import best_route
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate
+
+
+@dataclass(frozen=True)
+class Route:
+    """One candidate route: a prefix heard from a peer.
+
+    ``peer`` doubles as the BGP nexthop (eBGP peers are adjacent, as in
+    the paper's RouteViews construction).
+    """
+
+    prefix: Prefix
+    peer: Nexthop
+    attributes: PathAttributes = PathAttributes()
+
+
+class LocRib:
+    """Per-prefix best-route state over any number of peers."""
+
+    def __init__(self) -> None:
+        #: prefix → {peer → Route}
+        self._candidates: dict[Prefix, dict[Nexthop, Route]] = {}
+        #: prefix → currently-selected best route
+        self._selected: dict[Prefix, Route] = {}
+
+    # -- peer input --------------------------------------------------------
+
+    def announce(self, route: Route, timestamp: float = 0.0) -> list[RouteUpdate]:
+        """A peer (re)announces a route; returns resulting FIB updates."""
+        self._candidates.setdefault(route.prefix, {})[route.peer] = route
+        return self._reselect(route.prefix, timestamp)
+
+    def withdraw(
+        self, prefix: Prefix, peer: Nexthop, timestamp: float = 0.0
+    ) -> list[RouteUpdate]:
+        """A peer withdraws its route; returns resulting FIB updates."""
+        candidates = self._candidates.get(prefix)
+        if not candidates or peer not in candidates:
+            return []
+        del candidates[peer]
+        if not candidates:
+            del self._candidates[prefix]
+        return self._reselect(prefix, timestamp)
+
+    def drop_peer(self, peer: Nexthop, timestamp: float = 0.0) -> list[RouteUpdate]:
+        """Session loss: withdraw everything heard from ``peer``."""
+        updates: list[RouteUpdate] = []
+        for prefix in [
+            p for p, cands in self._candidates.items() if peer in cands
+        ]:
+            updates.extend(self.withdraw(prefix, peer, timestamp))
+        return updates
+
+    # -- selection ----------------------------------------------------------
+
+    def _reselect(self, prefix: Prefix, timestamp: float) -> list[RouteUpdate]:
+        candidates = self._candidates.get(prefix, {})
+        winner = best_route(candidates.values())
+        previous = self._selected.get(prefix)
+        if winner is None:
+            if previous is None:
+                return []
+            del self._selected[prefix]
+            return [RouteUpdate.withdraw(prefix, timestamp)]
+        if previous is not None and previous.peer == winner.peer and (
+            previous.attributes == winner.attributes
+        ):
+            return []  # selection unchanged
+        self._selected[prefix] = winner
+        if previous is not None and previous.peer == winner.peer:
+            return []  # same nexthop; attribute change is FIB-invisible
+        return [RouteUpdate.announce(prefix, winner.peer, timestamp)]
+
+    # -- introspection --------------------------------------------------------
+
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        return self._selected.get(prefix)
+
+    def table(self) -> dict[Prefix, Nexthop]:
+        """The best-path table: prefix → BGP nexthop (winning peer)."""
+        return {prefix: route.peer for prefix, route in self._selected.items()}
+
+    def candidate_count(self, prefix: Prefix) -> int:
+        return len(self._candidates.get(prefix, {}))
+
+    def prefixes_from(self, peer: Nexthop) -> list[Prefix]:
+        """All prefixes for which ``peer`` currently has a candidate."""
+        return [
+            prefix
+            for prefix, candidates in self._candidates.items()
+            if peer in candidates
+        ]
+
+    def __len__(self) -> int:
+        return len(self._selected)

@@ -1,0 +1,63 @@
+"""Peer sessions and End-of-RIB tracking (RFC 4724 semantics).
+
+Section 2: "While BGP is initializing but before the End-of-RIB is
+received, SMALTA inserts updates into the original tree, but does not
+process them further. ... After the BGP control has received all
+End-of-RIB markers from all neighbors, SMALTA runs its initial
+snapshot(OT)." :class:`SessionManager` implements exactly that gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.nexthop import Nexthop
+
+
+@dataclass
+class PeerSession:
+    """State of one BGP neighbor."""
+
+    peer: Nexthop
+    established: bool = True
+    end_of_rib_received: bool = False
+    announcements: int = 0
+    withdrawals: int = 0
+
+    def mark_end_of_rib(self) -> None:
+        self.end_of_rib_received = True
+
+
+@dataclass
+class SessionManager:
+    """Tracks all neighbors and answers "has every peer sent End-of-RIB?"."""
+
+    sessions: dict[Nexthop, PeerSession] = field(default_factory=dict)
+
+    def add_peer(self, peer: Nexthop) -> PeerSession:
+        if peer in self.sessions:
+            raise ValueError(f"peer {peer} already has a session")
+        session = PeerSession(peer)
+        self.sessions[peer] = session
+        return session
+
+    def session(self, peer: Nexthop) -> PeerSession:
+        return self.sessions[peer]
+
+    def end_of_rib(self, peer: Nexthop) -> bool:
+        """Record a peer's End-of-RIB; True when *all* peers are done."""
+        self.sessions[peer].mark_end_of_rib()
+        return self.all_initialized
+
+    @property
+    def all_initialized(self) -> bool:
+        return bool(self.sessions) and all(
+            s.end_of_rib_received for s in self.sessions.values() if s.established
+        )
+
+    def drop(self, peer: Nexthop) -> None:
+        """Session loss; the peer's routes must be withdrawn by the caller."""
+        self.sessions[peer].established = False
+
+    def __len__(self) -> int:
+        return len(self.sessions)

@@ -1,0 +1,116 @@
+"""Snapshot-policy advisor — operationalizing Figure 10.
+
+Section 4.3: "a router vendor needs to decide how many consecutive FIB
+downloads are acceptable, and then run the snapshot often enough to stay
+under this number." The advisor automates that: it calibrates the
+burst-vs-spacing curve on a sample of the router's own update stream and
+recommends the largest snapshot spacing whose expected burst stays within
+the given budget (larger spacing = fewer re-optimization stalls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.downloads import DownloadLog
+from repro.core.manager import SmaltaManager
+from repro.core.policy import PeriodicUpdateCountPolicy
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate, UpdateTrace
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    spacing: int
+    mean_burst: float
+    max_burst: int
+    downloads_per_update: float
+    snapshots: int
+
+
+@dataclass(frozen=True)
+class Advice:
+    """The recommendation plus the curve it was read off."""
+
+    burst_budget: int
+    recommended_spacing: int
+    expected_burst: float
+    curve: tuple[CalibrationPoint, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"snapshot every {self.recommended_spacing:,} updates "
+            f"(expected burst ≈ {self.expected_burst:,.0f} downloads, "
+            f"budget {self.burst_budget:,})"
+        )
+
+
+def calibrate(
+    table: dict[Prefix, Nexthop],
+    trace: UpdateTrace,
+    spacings: Sequence[int],
+    width: int = 32,
+) -> list[CalibrationPoint]:
+    """Measure the Figure 10 curve on the caller's own table and churn."""
+    if not spacings:
+        raise ValueError("need at least one spacing to calibrate")
+    points: list[CalibrationPoint] = []
+    for spacing in sorted(set(spacings)):
+        if spacing < 1:
+            raise ValueError(f"spacing {spacing} must be >= 1")
+        log = DownloadLog(keep_entries=False)
+        manager = SmaltaManager(
+            width=width,
+            policy=PeriodicUpdateCountPolicy(spacing),
+            download_log=log,
+        )
+        for prefix, nexthop in table.items():
+            manager.apply(RouteUpdate.announce(prefix, nexthop))
+        manager.end_of_rib()
+        manager.apply_many(trace)
+        bursts = log.snapshot_bursts[1:]  # drop the initial full download
+        points.append(
+            CalibrationPoint(
+                spacing=spacing,
+                mean_burst=sum(bursts) / len(bursts) if bursts else 0.0,
+                max_burst=max(bursts) if bursts else 0,
+                downloads_per_update=log.update_downloads / max(1, len(trace)),
+                snapshots=len(bursts),
+            )
+        )
+    return points
+
+
+def advise(
+    table: dict[Prefix, Nexthop],
+    trace: UpdateTrace,
+    burst_budget: int,
+    spacings: Sequence[int] | None = None,
+    width: int = 32,
+    conservative: bool = True,
+) -> Advice:
+    """Recommend the largest spacing whose burst fits ``burst_budget``.
+
+    ``conservative`` judges by the *maximum* observed burst; otherwise by
+    the mean. If even the smallest calibrated spacing exceeds the budget,
+    that smallest spacing is returned (snapshot as often as feasible).
+    """
+    if burst_budget < 1:
+        raise ValueError("burst_budget must be >= 1")
+    if spacings is None:
+        base = max(1, len(trace) // 64)
+        spacings = [base, base * 4, base * 16, max(1, len(trace) // 2)]
+    curve = calibrate(table, trace, spacings, width)
+    measure = (lambda p: p.max_burst) if conservative else (lambda p: p.mean_burst)
+    fitting = [point for point in curve if measure(point) <= burst_budget]
+    chosen = max(fitting, key=lambda p: p.spacing) if fitting else min(
+        curve, key=lambda p: p.spacing
+    )
+    return Advice(
+        burst_budget=burst_budget,
+        recommended_spacing=chosen.spacing,
+        expected_burst=float(measure(chosen)),
+        curve=tuple(curve),
+    )

@@ -1,0 +1,117 @@
+"""FIB downloads — the aggregated update stream SMALTA emits (Figure 1).
+
+Every mutation of the Aggregated Tree becomes a *FIB download*: an insert
+(which also covers nexthop changes, as in zebra's install path) or a
+delete. The paper's accounting (Section 2, Figure 10):
+
+- incremental updates cause ~0.63 downloads per received update;
+- a snapshot emits the delta between the pre- and post-snapshot ATs,
+  where a changed nexthop counts as a Delete followed by an Insert
+  (mirroring Graceful Restart behaviour).
+
+:class:`DownloadLog` records the stream with enough structure for the
+Figure 10 reproduction (per-update vs per-snapshot attribution, burst
+sizes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+
+
+class DownloadKind(enum.Enum):
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class FibDownload:
+    """One change pushed to the FIB (the kernel table, in the Quagga port)."""
+
+    kind: DownloadKind
+    prefix: Prefix
+    nexthop: Optional[Nexthop] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is DownloadKind.INSERT and self.nexthop is None:
+            raise ValueError("insert download requires a nexthop")
+
+    @classmethod
+    def insert(cls, prefix: Prefix, nexthop: Nexthop) -> "FibDownload":
+        return cls(DownloadKind.INSERT, prefix, nexthop)
+
+    @classmethod
+    def delete(cls, prefix: Prefix) -> "FibDownload":
+        return cls(DownloadKind.DELETE, prefix, None)
+
+
+@dataclass
+class DownloadLog:
+    """Accounting for the FIB download stream.
+
+    ``update_downloads`` / ``snapshot_downloads`` split the total by cause;
+    ``snapshot_bursts`` records the size of each snapshot's delta, which is
+    the "Snapshot Burst" series of Figure 10 (lower graph).
+    """
+
+    downloads: list[FibDownload] = field(default_factory=list)
+    update_downloads: int = 0
+    snapshot_downloads: int = 0
+    snapshot_bursts: list[int] = field(default_factory=list)
+    keep_entries: bool = True
+
+    def record_update_downloads(self, batch: list[FibDownload]) -> None:
+        if self.keep_entries:
+            self.downloads.extend(batch)
+        self.update_downloads += len(batch)
+
+    def record_snapshot_burst(self, batch: list[FibDownload]) -> None:
+        if self.keep_entries:
+            self.downloads.extend(batch)
+        self.snapshot_downloads += len(batch)
+        self.snapshot_bursts.append(len(batch))
+
+    @property
+    def total(self) -> int:
+        return self.update_downloads + self.snapshot_downloads
+
+    @property
+    def snapshot_count(self) -> int:
+        return len(self.snapshot_bursts)
+
+    @property
+    def mean_snapshot_burst(self) -> float:
+        if not self.snapshot_bursts:
+            return 0.0
+        return sum(self.snapshot_bursts) / len(self.snapshot_bursts)
+
+    def __iter__(self) -> Iterator[FibDownload]:
+        return iter(self.downloads)
+
+    def __len__(self) -> int:
+        return self.total
+
+
+def diff_tables(
+    old: dict[Prefix, Nexthop], new: dict[Prefix, Nexthop]
+) -> list[FibDownload]:
+    """The snapshot delta, with the paper's Graceful-Restart accounting:
+    removed prefix → Delete; added prefix → Insert; changed nexthop →
+    Delete followed by Insert."""
+    downloads: list[FibDownload] = []
+    for prefix, nexthop in old.items():
+        new_nexthop = new.get(prefix)
+        if new_nexthop is None:
+            downloads.append(FibDownload.delete(prefix))
+        elif new_nexthop != nexthop:
+            downloads.append(FibDownload.delete(prefix))
+            downloads.append(FibDownload.insert(prefix, new_nexthop))
+    for prefix, nexthop in new.items():
+        if prefix not in old:
+            downloads.append(FibDownload.insert(prefix, nexthop))
+    return downloads

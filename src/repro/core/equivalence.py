@@ -1,0 +1,247 @@
+"""Semantic equivalence of prefix tables (the TaCo check, Tariq et al. 2011).
+
+Two longest-prefix-match tables are *semantically equivalent* when every
+address resolves to the same nexthop in both, with "no matching prefix"
+treated as the null nexthop DROP. The paper leans on this property twice:
+it is what SMALTA preserves by construction, and the authors "automatically
+computed the correctness of millions of updated aggregated tables" — this
+module is that machine check.
+
+The comparison walks the *union* trie of both tables once, carrying the
+propagated nexthop of each side; whenever a subtree half contains no
+further labels on either side, the two propagated values must agree.
+This is exact (it covers the full 2**width address space) and costs
+O(total entries), not O(address space).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+
+class _ENode:
+    __slots__ = ("prefix", "left", "right", "label_a", "label_b")
+
+    def __init__(self, prefix: Prefix) -> None:
+        self.prefix = prefix
+        self.left: Optional[_ENode] = None
+        self.right: Optional[_ENode] = None
+        self.label_a: Optional[Nexthop] = None
+        self.label_b: Optional[Nexthop] = None
+
+
+def _build_union(
+    table_a: Mapping[Prefix, Nexthop],
+    table_b: Mapping[Prefix, Nexthop],
+    width: int,
+) -> _ENode:
+    root = _ENode(Prefix.root(width))
+    for attr, table in (("label_a", table_a), ("label_b", table_b)):
+        for prefix, nexthop in table.items():
+            node = root
+            for index in range(prefix.length):
+                bit = prefix.bit(index)
+                nxt = node.right if bit else node.left
+                if nxt is None:
+                    nxt = _ENode(node.prefix.child(bit))
+                    if bit:
+                        node.right = nxt
+                    else:
+                        node.left = nxt
+                node = nxt
+            setattr(node, attr, nexthop)
+    return root
+
+
+def equivalence_counterexample(
+    table_a: Mapping[Prefix, Nexthop],
+    table_b: Mapping[Prefix, Nexthop],
+    width: int = 32,
+) -> Optional[tuple[Prefix, Nexthop, Nexthop]]:
+    """The first region where the two tables disagree, or None when equivalent.
+
+    Returns ``(prefix, nexthop_a, nexthop_b)`` where every address in
+    ``prefix`` resolves to ``nexthop_a`` under ``table_a`` but
+    ``nexthop_b`` under ``table_b``.
+    """
+    root = _build_union(table_a, table_b, width)
+    stack: list[tuple[_ENode, Nexthop, Nexthop]] = [(root, DROP, DROP)]
+    while stack:
+        node, eff_a, eff_b = stack.pop()
+        if node.label_a is not None:
+            eff_a = node.label_a
+        if node.label_b is not None:
+            eff_b = node.label_b
+        if node.left is None and node.right is None:
+            if eff_a != eff_b:
+                return node.prefix, eff_a, eff_b
+            continue
+        for bit, child in ((0, node.left), (1, node.right)):
+            if child is not None:
+                stack.append((child, eff_a, eff_b))
+            elif eff_a != eff_b:
+                return node.prefix.child(bit), eff_a, eff_b
+    return None
+
+
+def divergent_regions(
+    table_a: Mapping[Prefix, Nexthop],
+    table_b: Mapping[Prefix, Nexthop],
+    width: int = 32,
+) -> list[tuple[Prefix, Nexthop, Nexthop]]:
+    """All maximal-granularity regions where the two tables disagree.
+
+    Each element is ``(prefix, nexthop_a, nexthop_b)``: every address in
+    ``prefix`` resolves to ``nexthop_a`` under ``table_a`` and
+    ``nexthop_b`` under ``table_b``. Installing ``prefix -> nexthop_b``
+    entries on top of ``table_a`` for every returned region makes it
+    equivalent to ``table_b`` (the out-of-band override construction).
+    """
+    root = _build_union(table_a, table_b, width)
+    regions: list[tuple[Prefix, Nexthop, Nexthop]] = []
+    stack: list[tuple[_ENode, Nexthop, Nexthop]] = [(root, DROP, DROP)]
+    while stack:
+        node, eff_a, eff_b = stack.pop()
+        if node.label_a is not None:
+            eff_a = node.label_a
+        if node.label_b is not None:
+            eff_b = node.label_b
+        if node.left is None and node.right is None:
+            if eff_a != eff_b:
+                regions.append((node.prefix, eff_a, eff_b))
+            continue
+        for bit, child in ((0, node.left), (1, node.right)):
+            if child is not None:
+                stack.append((child, eff_a, eff_b))
+            elif eff_a != eff_b:
+                regions.append((node.prefix.child(bit), eff_a, eff_b))
+    return regions
+
+
+def semantically_equivalent(
+    table_a: Mapping[Prefix, Nexthop],
+    table_b: Mapping[Prefix, Nexthop],
+    width: int = 32,
+) -> bool:
+    """True when every address resolves identically under both tables."""
+    return equivalence_counterexample(table_a, table_b, width) is None
+
+
+# -- SMALTA structural invariants (Section 3.3) ------------------------
+
+
+def check_invariant1(trie) -> list[str]:
+    """Invariant 1: between a deaggregate and its preimage, the OT is silent.
+
+    For every AT node with a preimage pointer, all nodes *strictly
+    between* the preimage and the deaggregate must carry no OT label, and
+    the deaggregate itself must not be an OT entry with a different
+    nexthop hiding underneath. Returns human-readable violations.
+    """
+    violations: list[str] = []
+    nil_node = getattr(trie, "nil_node", None)
+    for node in trie.iter_nodes():
+        if node.pi is None:
+            continue
+        preimage = node.pi
+        if preimage is nil_node:
+            # Deaggregate of the unrouted context: must be an explicit
+            # null route with no covering OT entry anywhere above it.
+            if node.d_a != DROP:
+                violations.append(
+                    f"{node.prefix} registered as a DROP deaggregate but "
+                    f"labeled {node.d_a}"
+                )
+            walker = node.parent
+            while walker is not None:
+                if walker.d_o is not None:
+                    violations.append(
+                        f"explicit DROP at {node.prefix} under OT entry "
+                        f"{walker.prefix}->{walker.d_o}"
+                    )
+                    break
+                walker = walker.parent
+            continue
+        if not preimage.prefix.contains(node.prefix) or preimage is node:
+            violations.append(
+                f"pi({node.prefix}) = {preimage.prefix} is not a proper ancestor"
+            )
+            continue
+        walker = node.parent
+        while walker is not None and walker is not preimage:
+            if walker.d_o is not None:
+                violations.append(
+                    f"OT label {walker.d_o} at {walker.prefix} between deaggregate "
+                    f"{node.prefix} and preimage {preimage.prefix}"
+                )
+            walker = walker.parent
+        if walker is None:
+            violations.append(
+                f"preimage {preimage.prefix} not on the ancestor path of {node.prefix}"
+            )
+    return violations
+
+
+def check_invariant2(trie) -> list[str]:
+    """Invariant 2: between an aggregate and its preimages, the AT is silent.
+
+    Operationally: every OT entry whose own prefix carries no AT label
+    must be *covered* in the AT by propagation of the same nexthop —
+    i.e. the nearest AT-labeled ancestor-or-self either matches its OT
+    nexthop or the entry's space is fully re-covered by deaggregates.
+    We verify the propagation form: walking up from an AT-silent OT entry,
+    the first AT label encountered must equal the entry's OT nexthop,
+    unless the entry's whole space is overridden below (checked via the
+    full semantic comparison, so here we only flag propagation mismatches
+    that the equivalence check also rejects).
+    """
+    violations: list[str] = []
+    for node in trie.iter_nodes():
+        if node.d_o is None or node.d_a is not None:
+            continue
+        # Find the nearest AT-labeled strict ancestor.
+        walker = node.parent
+        while walker is not None and walker.d_a is None:
+            walker = walker.parent
+        inherited = walker.d_a if walker is not None else DROP
+        if inherited == node.d_o:
+            continue
+        # The entry is not served by propagation; its space must be fully
+        # covered by descendants with AT labels (deaggregates). Check that
+        # every leaf-ward gap below carries an AT label before the space
+        # escapes.
+        if not _fully_covered_below(node):
+            violations.append(
+                f"OT entry {node.prefix}->{node.d_o} inherits {inherited} in the AT "
+                "and is not fully re-covered by deaggregates"
+            )
+    return violations
+
+
+def _fully_covered_below(node) -> bool:
+    """True when every address under ``node`` meets an AT label at or below
+    the first OT-or-AT node on its downward path (i.e. no gap where the
+    ancestor's AT propagation would leak through)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        for bit in (0, 1):
+            child = current.right if bit else current.left
+            if child is None:
+                # A gap: addresses here have `node` as their OT longest
+                # match, yet inherit the mismatched AT propagation.
+                return False
+            if child.d_a is not None:
+                continue  # structurally covered (value checked by TaCo)
+            if child.d_o is not None:
+                continue  # a deeper OT entry owns this space
+            stack.append(child)
+    return True
+
+
+def check_invariants(trie) -> list[str]:
+    """All structural-invariant violations (empty list when healthy)."""
+    return check_invariant1(trie) + check_invariant2(trie)

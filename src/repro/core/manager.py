@@ -1,0 +1,197 @@
+"""SmaltaManager — the deployable layer of Figure 1.
+
+The manager is what a router integrates (the Quagga port wraps exactly
+this object): it consumes the route-resolution function's non-aggregated
+update stream and produces the aggregated FIB-download stream, handling
+
+- **startup**: updates received before End-of-RIB populate the OT only;
+  the initial ``snapshot(OT)`` then downloads the whole AT (Section 2);
+- **steady state**: each update runs Algorithm 1 or 2 and forwards the
+  resulting downloads (~0.63 per update on the paper's traces);
+- **re-optimization**: a :class:`~repro.core.policy.SnapshotPolicy`
+  triggers ``snapshot(OT)``; updates arriving *during* a snapshot are
+  queued and incorporated right after it completes, which is the paper's
+  "sub-second delay once every few hours";
+- **aggregation off**: with ``enabled=False`` the manager degrades to a
+  pass-through (FIB = OT), the baseline every experiment compares against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.core.downloads import DownloadLog, FibDownload
+from repro.core.policy import ManualSnapshotPolicy, SnapshotPolicy
+from repro.core.smalta import SmaltaState
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate, UpdateKind
+
+
+class SmaltaManager:
+    """Update stream in, FIB downloads out."""
+
+    def __init__(
+        self,
+        width: int = 32,
+        policy: Optional[SnapshotPolicy] = None,
+        enabled: bool = True,
+        download_log: Optional[DownloadLog] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.state = SmaltaState(width)
+        self.policy: SnapshotPolicy = policy or ManualSnapshotPolicy()
+        self.enabled = enabled
+        # Note: DownloadLog has __len__, so an empty log is falsy — test
+        # identity, not truth, or a caller-supplied log would be dropped.
+        self.log = download_log if download_log is not None else DownloadLog(
+            keep_entries=False
+        )
+        self._clock = clock
+        self.loading = True
+        self.updates_received = 0
+        self.updates_since_snapshot = 0
+        self.snapshot_durations: list[float] = []
+        self._in_snapshot = False
+        self._queued: list[RouteUpdate] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def end_of_rib(self) -> list[FibDownload]:
+        """All End-of-RIB markers received: run the initial snapshot.
+
+        Its output is the complete AT as a burst of inserts (Section 2).
+        Idempotent: calling again outside of loading is a plain snapshot.
+        With aggregation disabled, the burst is the OT verbatim.
+        """
+        self.loading = False
+        if not self.enabled:
+            downloads = [
+                FibDownload.insert(prefix, nexthop)
+                for prefix, nexthop in sorted(self.state.ot_table().items())
+            ]
+            self.log.record_snapshot_burst(downloads)
+            return downloads
+        return self.snapshot_now()
+
+    # -- update path -------------------------------------------------------
+
+    def apply(self, update: RouteUpdate) -> list[FibDownload]:
+        """Incorporate one non-aggregated update; returns the FIB downloads.
+
+        During a snapshot, updates are queued (and an empty download list
+        returned); they are drained by :meth:`snapshot_now` once the
+        snapshot's delta has been produced.
+        """
+        if self._in_snapshot:
+            self._queued.append(update)
+            return []
+        self.updates_received += 1
+        if self.loading:
+            self._apply_to_ot_only(update)
+            return []
+        downloads = self._incorporate(update)
+        self.log.record_update_downloads(downloads)
+        self.updates_since_snapshot += 1
+        if self.enabled and self.policy.should_snapshot(
+            self.updates_since_snapshot, self.state.at_size
+        ):
+            downloads = downloads + self.snapshot_now()
+        return downloads
+
+    def apply_many(self, updates) -> int:
+        """Replay an iterable of updates; returns total downloads emitted."""
+        total = 0
+        for update in updates:
+            total += len(self.apply(update))
+        return total
+
+    def _apply_to_ot_only(self, update: RouteUpdate) -> None:
+        if update.kind is UpdateKind.ANNOUNCE:
+            assert update.nexthop is not None
+            self.state.load(update.prefix, update.nexthop)
+        else:
+            self.state.trie.set_ot(update.prefix, None)
+
+    def _incorporate(self, update: RouteUpdate) -> list[FibDownload]:
+        if not self.enabled:
+            return self._passthrough(update)
+        if update.kind is UpdateKind.ANNOUNCE:
+            assert update.nexthop is not None
+            return self.state.insert(update.prefix, update.nexthop)
+        try:
+            return self.state.delete(update.prefix)
+        except KeyError:
+            # A withdraw for a prefix we never had (stale trace head, or a
+            # duplicate withdraw): nothing to do, like zebra's behaviour.
+            return []
+
+    def _passthrough(self, update: RouteUpdate) -> list[FibDownload]:
+        """Aggregation disabled: the FIB mirrors the OT one-for-one."""
+        state = self.state
+        if update.kind is UpdateKind.ANNOUNCE:
+            assert update.nexthop is not None
+            old = state.trie.set_ot(update.prefix, update.nexthop)
+            if old == update.nexthop:
+                return []
+            return [FibDownload.insert(update.prefix, update.nexthop)]
+        old = state.trie.set_ot(update.prefix, None)
+        if old is None:
+            return []
+        return [FibDownload.delete(update.prefix)]
+
+    # -- snapshot ------------------------------------------------------------
+
+    def snapshot_now(self) -> list[FibDownload]:
+        """Run snapshot(OT), record the burst, then drain queued updates."""
+        if not self.enabled:
+            return []
+        self._in_snapshot = True
+        started = self._clock()
+        try:
+            burst = self.state.snapshot()
+        finally:
+            self._in_snapshot = False
+        self.snapshot_durations.append(self._clock() - started)
+        self.log.record_snapshot_burst(burst)
+        self.updates_since_snapshot = 0
+        self.policy.on_snapshot(self.state.at_size)
+        downloads = list(burst)
+        queued, self._queued = self._queued, []
+        for update in queued:
+            downloads.extend(self.apply(update))
+        return downloads
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def ot_size(self) -> int:
+        return self.state.ot_size
+
+    @property
+    def at_size(self) -> int:
+        return self.state.at_size
+
+    @property
+    def fib_size(self) -> int:
+        """Entries the FIB holds: the AT when aggregating, else the OT."""
+        return self.state.at_size if self.enabled else self.state.ot_size
+
+    def fib_table(self) -> dict[Prefix, Nexthop]:
+        return self.state.at_table() if self.enabled else self.state.ot_table()
+
+    @property
+    def last_snapshot_duration(self) -> Optional[float]:
+        return self.snapshot_durations[-1] if self.snapshot_durations else None
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "updates_received": self.updates_received,
+            "ot_size": self.ot_size,
+            "fib_size": self.fib_size,
+            "update_downloads": self.log.update_downloads,
+            "snapshot_downloads": self.log.snapshot_downloads,
+            "snapshots": self.log.snapshot_count,
+            "mean_snapshot_burst": self.log.mean_snapshot_burst,
+        }

@@ -1,0 +1,107 @@
+"""Independent exact minimum-size aggregation, by explicit dynamic programming.
+
+ORTC is itself a linear-time dynamic program, but its three-pass structure
+makes a subtle implementation bug easy to miss. This module solves the
+same problem with a *structurally different* formulation — a memoized
+minimization over ``(node, inherited nexthop)`` pairs on the normalized
+tree — and is used by the test suite to certify that
+:func:`repro.core.ortc.ortc` is optimal on small universes.
+
+Exponential in nothing, but the state space is (nodes × alphabet), so keep
+it to test-sized tables; the library's production path never calls this.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+
+class _DNode:
+    __slots__ = ("left", "right", "label", "eff")
+
+    def __init__(self) -> None:
+        self.left: Optional[_DNode] = None
+        self.right: Optional[_DNode] = None
+        self.label: Optional[Nexthop] = None
+        self.eff: Nexthop = DROP
+
+
+def _build(table: Mapping[Prefix, Nexthop], width: int) -> _DNode:
+    root = _DNode()
+    for prefix, nexthop in table.items():
+        node = root
+        for index in range(prefix.length):
+            bit = prefix.bit(index)
+            nxt = node.right if bit else node.left
+            if nxt is None:
+                nxt = _DNode()
+                if bit:
+                    node.right = nxt
+                else:
+                    node.left = nxt
+            node = nxt
+        node.label = nexthop
+    return root
+
+
+def _effective(node: _DNode, inherited: Nexthop) -> None:
+    node.eff = node.label if node.label is not None else inherited
+    if node.left is not None:
+        _effective(node.left, node.eff)
+    if node.right is not None:
+        _effective(node.right, node.eff)
+
+
+def optimal_table_size(table: Mapping[Prefix, Nexthop], width: int = 32) -> int:
+    """The minimum number of entries of any semantically equivalent table.
+
+    Alphabet = nexthops appearing in the table, plus DROP. Equivalence is
+    the TaCo notion: every address maps to the same nexthop, unmatched
+    addresses mapping to DROP.
+    """
+    root = _build(table, width)
+    _effective(root, DROP)
+    alphabet = sorted({DROP, *table.values()})
+
+    memo: dict[tuple[int, int], int] = {}
+    nodes: list[_DNode] = []
+    index_of: dict[int, int] = {}
+
+    def intern(node: _DNode) -> int:
+        key = id(node)
+        if key not in index_of:
+            index_of[key] = len(nodes)
+            nodes.append(node)
+        return index_of[key]
+
+    def best(node: _DNode, inherited: Nexthop) -> int:
+        key = (intern(node), inherited.key)
+        found = memo.get(key)
+        if found is not None:
+            return found
+        # Option 1: no entry at this node — children see `inherited`.
+        # Option 2: an entry with nexthop c — costs 1, children see c.
+        candidates = [(inherited, 0)]
+        candidates.extend((c, 1) for c in alphabet if c != inherited)
+        result = None
+        for context, price in candidates:
+            total = price
+            if node.left is None and node.right is None:
+                if context != node.eff:
+                    continue  # a leaf must resolve to its required nexthop
+            else:
+                for child in (node.left, node.right):
+                    if child is not None:
+                        total += best(child, context)
+                    elif node.eff != context:
+                        total += 1  # phantom half needs an explicit entry
+            if result is None or total < result:
+                result = total
+        assert result is not None, "alphabet always contains node.eff"
+        memo[key] = result
+        return result
+
+    return best(root, DROP)

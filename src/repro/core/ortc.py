@@ -1,0 +1,138 @@
+"""ORTC — Optimal Routing Table Constructor (Draves, King, Venkatachary, Zill).
+
+SMALTA's ``snapshot(OT)`` is ORTC (Section 2.1 of the paper). The three
+passes over the binary tree:
+
+1. **Normalization** — expand so every node has two or no children, with
+   each (possibly phantom) leaf owed the nexthop its address space
+   resolves to. We do not materialize phantom leaves; the *effective*
+   inherited nexthop stored per node lets pass 3 emit entries for missing
+   children directly.
+2. **Bottom-up** — each node receives a set of candidate nexthops:
+   ``merge(A, B) = A ∩ B if A ∩ B ≠ ∅ else A ∪ B``.
+3. **Top-down** — starting from the root (whose inherited context is the
+   null nexthop DROP), a node whose inherited choice appears in its set
+   needs no entry; otherwise it is assigned an arbitrary member (we pick
+   the minimum key for determinism). Unnecessary leaves disappear because
+   they are simply never emitted.
+
+The output is provably minimal in entry count over the alphabet of real
+nexthops plus DROP, which is exactly the "no whiteholing" semantics the
+paper requires: unrouted space stays unrouted, via structure or via
+explicit null-route entries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+
+class _ONode:
+    """Scratch node for one ORTC run (prefixes are materialized lazily)."""
+
+    __slots__ = ("left", "right", "label", "eff", "nhset")
+
+    def __init__(self) -> None:
+        self.left: Optional[_ONode] = None
+        self.right: Optional[_ONode] = None
+        self.label: Optional[Nexthop] = None
+        self.eff: Nexthop = DROP
+        self.nhset: frozenset[Nexthop] = frozenset()
+
+
+def _build(entries: Iterable[tuple[Prefix, Nexthop]], width: int) -> _ONode:
+    root = _ONode()
+    for prefix, nexthop in entries:
+        if prefix.width != width:
+            raise ValueError(f"{prefix} has width {prefix.width}, expected {width}")
+        node = root
+        value = prefix.value
+        for shift in range(width - 1, width - 1 - prefix.length, -1):
+            if (value >> shift) & 1:
+                nxt = node.right
+                if nxt is None:
+                    nxt = node.right = _ONode()
+            else:
+                nxt = node.left
+                if nxt is None:
+                    nxt = node.left = _ONode()
+            node = nxt
+        node.label = nexthop
+    return root
+
+
+def _merge(a: frozenset[Nexthop], b: frozenset[Nexthop]) -> frozenset[Nexthop]:
+    """ORTC pass-2 merge: intersection when non-empty, else union."""
+    inter = a & b
+    return inter if inter else a | b
+
+
+def _bottom_up(root: _ONode) -> None:
+    """Passes 1+2: compute effective inherited labels and candidate sets."""
+    # Iterative post-order: (node, inherited, expanded?) frames.
+    stack: list[tuple[_ONode, Nexthop, bool]] = [(root, DROP, False)]
+    while stack:
+        node, inherited, expanded = stack.pop()
+        eff = node.label if node.label is not None else inherited
+        if not expanded:
+            node.eff = eff
+            stack.append((node, inherited, True))
+            if node.right is not None:
+                stack.append((node.right, eff, False))
+            if node.left is not None:
+                stack.append((node.left, eff, False))
+            continue
+        if node.left is None and node.right is None:
+            node.nhset = frozenset((eff,))
+        else:
+            phantom = frozenset((eff,))
+            left_set = node.left.nhset if node.left is not None else phantom
+            right_set = node.right.nhset if node.right is not None else phantom
+            node.nhset = _merge(left_set, right_set)
+
+
+def _top_down(root: _ONode, width: int) -> dict[Prefix, Nexthop]:
+    """Pass 3: assign nexthops top-down, emitting only necessary entries."""
+    out: dict[Prefix, Nexthop] = {}
+    stack: list[tuple[_ONode, Nexthop, int, int]] = [(root, DROP, 0, 0)]
+    while stack:
+        node, assigned, value, length = stack.pop()
+        if assigned in node.nhset:
+            choice = assigned
+        else:
+            choice = min(node.nhset)
+            # The virtual context above the root is DROP, so an explicit
+            # DROP at the root would be redundant; it cannot happen here
+            # because DROP ∈ nhset would have taken the branch above.
+            out[Prefix(value, length, width)] = choice
+        if node.left is None and node.right is None:
+            continue
+        child_bit = 1 << (width - 1 - length)
+        for bit, child in ((0, node.left), (1, node.right)):
+            child_value = value | child_bit if bit else value
+            if child is not None:
+                stack.append((child, choice, child_value, length + 1))
+            elif node.eff != choice:
+                # Phantom leaf: the missing half resolves uniformly to the
+                # node's effective inherited nexthop and needs an explicit
+                # entry whenever the new propagated choice differs.
+                out[Prefix(child_value, length + 1, width)] = node.eff
+    return out
+
+
+def ortc(
+    entries: Iterable[tuple[Prefix, Nexthop]], width: int = 32
+) -> dict[Prefix, Nexthop]:
+    """Optimally aggregate a prefix table.
+
+    ``entries`` is any iterable of ``(prefix, nexthop)`` pairs; the result
+    maps prefixes to nexthops (possibly including explicit DROP entries)
+    and is semantically equivalent to the input: every address resolves to
+    the same nexthop, with "no match" treated as DROP.
+    """
+    root = _build(entries, width)
+    _bottom_up(root)
+    return _top_down(root, width)

@@ -1,0 +1,115 @@
+"""Snapshot scheduling policies.
+
+Section 2: "snapshot(OT) is periodically repeated, for instance after some
+number of updates, or after the aggregated tree has grown by more than a
+certain amount." Section 4.3 adds the operational guidance: pick the
+spacing so that the per-snapshot FIB-download burst stays below what the
+FIB architecture tolerates (Figure 10).
+
+A policy is consulted by :class:`~repro.core.manager.SmaltaManager` after
+every incorporated update.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Protocol, Sequence
+
+
+class SnapshotPolicy(Protocol):
+    """Decides when the manager should re-optimize the AT."""
+
+    def should_snapshot(self, updates_since_snapshot: int, at_size: int) -> bool:
+        """Consulted after each update with counters since the last snapshot."""
+        ...
+
+    def on_snapshot(self, at_size: int) -> None:
+        """Notification that a snapshot just completed (AT is optimal again)."""
+        ...
+
+
+class ManualSnapshotPolicy:
+    """Never snapshots automatically; the operator calls snapshot_now()."""
+
+    def should_snapshot(self, updates_since_snapshot: int, at_size: int) -> bool:
+        return False
+
+    def on_snapshot(self, at_size: int) -> None:
+        pass
+
+
+class PeriodicUpdateCountPolicy:
+    """Snapshot after every ``spacing`` incorporated updates.
+
+    This is the knob Figure 10 sweeps (10 … 100000 updates between
+    consecutive snapshots).
+    """
+
+    def __init__(self, spacing: int) -> None:
+        if spacing < 1:
+            raise ValueError("spacing must be >= 1")
+        self.spacing = spacing
+
+    def should_snapshot(self, updates_since_snapshot: int, at_size: int) -> bool:
+        return updates_since_snapshot >= self.spacing
+
+    def on_snapshot(self, at_size: int) -> None:
+        pass
+
+
+class GrowthSnapshotPolicy:
+    """Snapshot when the AT has grown by more than ``growth_fraction``
+    relative to its size right after the previous snapshot."""
+
+    def __init__(self, growth_fraction: float) -> None:
+        if growth_fraction <= 0:
+            raise ValueError("growth_fraction must be positive")
+        self.growth_fraction = growth_fraction
+        self._baseline: int | None = None
+
+    def should_snapshot(self, updates_since_snapshot: int, at_size: int) -> bool:
+        if self._baseline is None or self._baseline == 0:
+            return False
+        return at_size > self._baseline * (1.0 + self.growth_fraction)
+
+    def on_snapshot(self, at_size: int) -> None:
+        self._baseline = at_size
+
+
+class WallClockPolicy:
+    """Snapshot when more than ``interval_s`` seconds elapsed since the last
+    one ("once every few hours" in the paper's deployment guidance)."""
+
+    def __init__(
+        self, interval_s: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = interval_s
+        self._clock = clock
+        self._last = clock()
+
+    def should_snapshot(self, updates_since_snapshot: int, at_size: int) -> bool:
+        return (self._clock() - self._last) >= self.interval_s
+
+    def on_snapshot(self, at_size: int) -> None:
+        self._last = self._clock()
+
+
+class CombinedPolicy:
+    """Snapshot when *any* member policy asks for one."""
+
+    def __init__(self, policies: Sequence[SnapshotPolicy]) -> None:
+        if not policies:
+            raise ValueError("need at least one policy")
+        self.policies = list(policies)
+
+    def should_snapshot(self, updates_since_snapshot: int, at_size: int) -> bool:
+        return any(
+            policy.should_snapshot(updates_since_snapshot, at_size)
+            for policy in self.policies
+        )
+
+    def on_snapshot(self, at_size: int) -> None:
+        for policy in self.policies:
+            policy.on_snapshot(at_size)

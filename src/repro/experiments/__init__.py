@@ -1,0 +1,50 @@
+"""One module per table and figure of the paper's evaluation (Section 4).
+
+Each module exposes ``run(...) -> <Result dataclass>`` and
+``format_result(result) -> str``; the benchmarks and examples share them.
+Sizes default to REPRO_SCALE-scaled versions of the paper's workloads.
+
+| Paper item | Module |
+| ---------- | ------ |
+| Figure 6   | fig6_igp_nexthops |
+| Table 1    | table1_access_routers |
+| Figure 7   | fig7_effective_nexthops |
+| Table 2    | table2_igr |
+| Figure 8   | fig8_update_drift |
+| Figure 9   | fig9_routeviews_drift |
+| Figure 10  | fig10_fib_downloads |
+| §4.3 times | timing |
+
+Extensions (the paper's Sections 6/7 future work, built out):
+``whiteholing_loops`` (loop census of L3/L4 vs exact schemes),
+``igp_remap`` (BGP→IGP mapping change bursts), ``outofband_snapshot``
+(queued vs out-of-band updates during snapshots).
+"""
+
+from repro.experiments import (
+    fig6_igp_nexthops,
+    fig7_effective_nexthops,
+    fig8_update_drift,
+    fig9_routeviews_drift,
+    fig10_fib_downloads,
+    igp_remap,
+    outofband_snapshot,
+    table1_access_routers,
+    table2_igr,
+    timing,
+    whiteholing_loops,
+)
+
+__all__ = [
+    "fig6_igp_nexthops",
+    "fig7_effective_nexthops",
+    "fig8_update_drift",
+    "fig9_routeviews_drift",
+    "fig10_fib_downloads",
+    "igp_remap",
+    "outofband_snapshot",
+    "table1_access_routers",
+    "table2_igr",
+    "timing",
+    "whiteholing_loops",
+]

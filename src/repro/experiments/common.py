@@ -1,0 +1,35 @@
+"""Shared experiment plumbing: seeds and paper reference values."""
+
+from __future__ import annotations
+
+import random
+
+#: One seed to rule all experiments — results are fully reproducible.
+DEFAULT_SEED = 20111206  # CoNEXT 2011 opened on December 6.
+
+
+def make_rng(seed: int | None = None) -> random.Random:
+    return random.Random(DEFAULT_SEED if seed is None else seed)
+
+
+#: Paper reference numbers, used by format_result() to print
+#: paper-vs-measured side by side (EXPERIMENTS.md mirrors these).
+PAPER = {
+    "table2": {
+        "#(OT)": 418_033,
+        "M(OT)": 2_361_714,
+        "T(OT)": 2.103,
+        "#(AT)": 156_877,
+        "M(AT)": 1_177_138,
+        "T(AT)": 1.550,
+        "#(L1)": 282_641,
+        "M(L1)": 1_673_242,
+        "T(L1)": 1.974,
+        "#(L2)": 219_704,
+        "M(L2)": 1_486_144,
+        "T(L2)": 1.927,
+    },
+    "fig6_2006_prefixes": 220_821,
+    "downloads_per_update": 0.63,
+    "snapshot_burst_20k_updates": 2000,
+}

@@ -1,0 +1,67 @@
+"""Figure 7 — AT entries and lookup cost (% of OT) vs effective nexthops.
+
+The Table 1 data plotted as series: both the size of the AT and the
+average memory accesses, as a percent of the unaggregated values, grow
+with the effective number of nexthops E(·). Expected shape: monotone-ish
+upward trend from AR-1 (E ≈ 1.06, small AT, lookup ≈ half) to AR-5
+(E ≈ 3.16, AT ≈ half of OT, lookup ≈ 80%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.experiments import table1_access_routers
+
+
+@dataclass(frozen=True)
+class Fig7Point:
+    name: str
+    effective: float
+    size_percent: float  # #(AT) / #(OT)
+    accesses_percent: float  # T(AT) / T(OT)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    points: tuple[Fig7Point, ...]
+
+
+def run(seed: int | None = None) -> Fig7Result:
+    return from_table1(table1_access_routers.run(seed))
+
+
+def from_table1(table1: "table1_access_routers.Table1Result") -> Fig7Result:
+    """Derive the figure from an existing Table 1 run (no recompute)."""
+    points = []
+    for row in sorted(table1.rows, key=lambda r: r.effective):
+        size_pct, _, accesses_pct = row.at.as_percent_of(row.ot)
+        points.append(
+            Fig7Point(
+                name=row.name,
+                effective=row.effective,
+                size_percent=size_pct,
+                accesses_percent=accesses_pct,
+            )
+        )
+    return Fig7Result(points=tuple(points))
+
+
+def format_result(result: Fig7Result) -> str:
+    header = (
+        "Figure 7: AT size and avg memory accesses (% of OT) vs effective "
+        "nexthops\n(paper: rising trend, size ~13%..55%, accesses ~52%..80%)"
+    )
+    table = format_table(
+        ["router", "E(.)", "size of AT (%)", "avg mem accesses (%)"],
+        [
+            (p.name, round(p.effective, 3), p.size_percent, p.accesses_percent)
+            for p in result.points
+        ],
+    )
+    return f"{header}\n{table}"
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

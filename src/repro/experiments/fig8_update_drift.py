@@ -1,0 +1,100 @@
+"""Figure 8 — AT efficiency drift on IGR-1 as updates accumulate.
+
+Paper setup: starting from an optimal snapshot (~37.5% of OT), replay
+the 12-hour IGR trace with *no* intervening snapshot; at checkpoints,
+record #(AT)/#(OT), the size an optimal snapshot would have produced
+(the "Snapshot" reference line), and the variation of the OT size
+itself (right axis). Expected shape: drift of less than one percentage
+point over the full trace; the OT size moves by a small fraction of a
+percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.core.manager import SmaltaManager
+from repro.core.ortc import ortc
+from repro.experiments.common import make_rng
+from repro.net.update import RouteUpdate
+from repro.workloads.provider import build_igr_scenario
+
+
+@dataclass(frozen=True)
+class DriftPoint:
+    updates: int
+    update_percent: float  # #(AT)/#(OT) for the incrementally-updated AT
+    snapshot_percent: float  # the same ratio if snapshot ran here (optimal)
+    ot_change_percent: float  # OT size change relative to the start
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    points: tuple[DriftPoint, ...]
+    initial_percent: float
+
+
+def run(seed: int | None = None, checkpoints: int = 7) -> Fig8Result:
+    rng = make_rng(seed)
+    table, trace, _ = build_igr_scenario(rng)
+    width = 32
+
+    manager = SmaltaManager(width=width)
+    for prefix, nexthop in table.items():
+        manager.apply(RouteUpdate.announce(prefix, nexthop))
+    manager.end_of_rib()
+    initial_ot = manager.ot_size
+    initial_percent = 100.0 * manager.at_size / manager.ot_size
+
+    marks = sorted(
+        {len(trace) * i // max(1, checkpoints - 1) for i in range(checkpoints)}
+    )
+    points: list[DriftPoint] = []
+    applied = 0
+    for mark in marks:
+        for update in trace[applied:mark]:
+            manager.apply(update)
+        applied = mark
+        optimal = len(ortc(manager.state.trie.ot_entries(), width))
+        points.append(
+            DriftPoint(
+                updates=applied,
+                update_percent=100.0 * manager.at_size / manager.ot_size,
+                snapshot_percent=100.0 * optimal / manager.ot_size,
+                ot_change_percent=100.0
+                * (manager.ot_size - initial_ot)
+                / initial_ot,
+            )
+        )
+    return Fig8Result(points=tuple(points), initial_percent=initial_percent)
+
+
+def format_result(result: Fig8Result) -> str:
+    header = (
+        "Figure 8: AT efficiency vs updates applied without snapshot (IGR-1)\n"
+        "(paper: starts ~37.5%, degrades by <1 point over 183,719 updates; "
+        "OT size moves <0.1%)"
+    )
+    table = format_table(
+        [
+            "updates",
+            "#(AT) % of #(OT) [Update]",
+            "optimal % [Snapshot]",
+            "OT size change %",
+        ],
+        [
+            (
+                p.updates,
+                p.update_percent,
+                p.snapshot_percent,
+                round(p.ot_change_percent, 3),
+            )
+            for p in result.points
+        ],
+    )
+    return f"{header}\n{table}"
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

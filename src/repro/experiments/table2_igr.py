@@ -1,0 +1,121 @@
+"""Table 2 — IGR-1 aggregation before and after 12 hours of updates.
+
+Paper setup: the IGR's best-path table (418,033 prefixes, 8 IGP
+nexthops); snapshot, then replay 183,719 updates through SMALTA's
+incremental algorithms with no intervening snapshot; report #, M (TBM
+bytes) and T for OT, AT, L1, L2. Expected shape: #(AT) ≈ 37.5% of OT at
+the snapshot and ≈ 38.2% after the updates; M(AT) ≈ 50%, T(AT) ≈ 74%;
+L1 ≈ 68%/71%/94% and L2 ≈ 53%/63%/92% (all worse than SMALTA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import FibMetrics, fib_metrics
+from repro.analysis.reporting import format_table
+from repro.baselines import level1, level2
+from repro.core.manager import SmaltaManager
+from repro.experiments.common import PAPER, make_rng
+from repro.net.update import RouteUpdate
+from repro.workloads.provider import build_igr_scenario
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    initial_ot: FibMetrics
+    initial_at: FibMetrics
+    initial_l1: FibMetrics
+    initial_l2: FibMetrics
+    final_ot: FibMetrics
+    final_at: FibMetrics
+    updates_applied: int
+    update_downloads: int
+
+
+def run(seed: int | None = None) -> Table2Result:
+    rng = make_rng(seed)
+    table, trace, _ = build_igr_scenario(rng)
+    width = 32
+
+    manager = SmaltaManager(width=width)
+    for prefix, nexthop in table.items():
+        manager.apply(RouteUpdate.announce(prefix, nexthop))
+    manager.end_of_rib()
+
+    initial_ot = fib_metrics(manager.state.ot_table(), width)
+    initial_at = fib_metrics(manager.state.at_table(), width)
+    initial_l1 = fib_metrics(level1(table.items(), width), width)
+    initial_l2 = fib_metrics(level2(table.items(), width), width)
+
+    manager.apply_many(trace)
+
+    final_ot = fib_metrics(manager.state.ot_table(), width)
+    final_at = fib_metrics(manager.state.at_table(), width)
+    return Table2Result(
+        initial_ot=initial_ot,
+        initial_at=initial_at,
+        initial_l1=initial_l1,
+        initial_l2=initial_l2,
+        final_ot=final_ot,
+        final_at=final_at,
+        updates_applied=len(trace),
+        update_downloads=manager.log.update_downloads,
+    )
+
+
+def format_result(result: Table2Result) -> str:
+    def percent(metric: FibMetrics, base: FibMetrics) -> tuple[str, str, str]:
+        entries_pct, memory_pct, accesses_pct = metric.as_percent_of(base)
+        return (
+            f"{metric.entries:,} ({entries_pct:.1f}%)",
+            f"{metric.memory_bytes:,} ({memory_pct:.2f}%)",
+            f"{metric.avg_accesses:.3f} ({accesses_pct:.1f}%)",
+        )
+
+    at_i = percent(result.initial_at, result.initial_ot)
+    l1_i = percent(result.initial_l1, result.initial_ot)
+    l2_i = percent(result.initial_l2, result.initial_ot)
+    at_f = percent(result.final_at, result.final_ot)
+
+    paper = PAPER["table2"]
+    header = (
+        f"Table 2: IGR-1 aggregation before and after "
+        f"{result.updates_applied:,} updates "
+        f"({result.update_downloads / max(1, result.updates_applied):.2f} "
+        f"FIB downloads per update)\n"
+        f"(paper: #(AT) 37.5% -> 38.24%, M(AT) 49.84% -> 50.29%, "
+        f"T(AT) 73.7% -> 73.8%; "
+        f"#(L1) {paper['#(L1)']:,}, #(L2) {paper['#(L2)']:,})"
+    )
+    rows = [
+        ("#(OT)", f"{result.initial_ot.entries:,}", f"{result.final_ot.entries:,}"),
+        (
+            "M(OT)",
+            f"{result.initial_ot.memory_bytes:,}",
+            f"{result.final_ot.memory_bytes:,}",
+        ),
+        (
+            "T(OT)",
+            f"{result.initial_ot.avg_accesses:.3f}",
+            f"{result.final_ot.avg_accesses:.3f}",
+        ),
+        ("#(AT)", at_i[0], at_f[0]),
+        ("M(AT)", at_i[1], at_f[1]),
+        ("T(AT)", at_i[2], at_f[2]),
+        ("#(L1)", l1_i[0], "-"),
+        ("M(L1)", l1_i[1], "-"),
+        ("T(L1)", l1_i[2], "-"),
+        ("#(L2)", l2_i[0], "-"),
+        ("M(L2)", l2_i[1], "-"),
+        ("T(L2)", l2_i[2], "-"),
+    ]
+    table = format_table(
+        ["", "Initial Snapshot", f"After {result.updates_applied:,} Updates"],
+        rows,
+    )
+    return f"{header}\n{table}"
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,33 @@
+"""Tree Bitmap — the FIB lookup substrate of the paper's evaluation.
+
+The paper measures FIB storage M(·) and lookup cost T(·) with the Tree
+Bitmap software reference design (Eatherton, Dittia, Varghese, §6):
+Initial Array Optimization followed by a constant stride of 4, 32-bit
+pointers, 8-byte nodes.
+
+- :class:`repro.fib.treebitmap.TreeBitmap` — the structure itself, with
+  per-address lookup and incremental updates.
+- :func:`repro.fib.memory.tbm_memory_bytes` — M(·).
+- :func:`repro.fib.lookup_stats.average_lookup_accesses` — T(·), the
+  expected memory accesses per lookup under a uniform traffic matrix.
+- :func:`repro.fib.strides.select_configuration` — "we tested a variety of
+  stride lengths and selected the one that minimizes memory".
+"""
+
+from repro.fib.linear import LinearFib
+from repro.fib.lookup_stats import average_lookup_accesses
+from repro.fib.memory import MemoryModel, tbm_memory_bytes
+from repro.fib.patricia import PatriciaFib
+from repro.fib.strides import TbmConfig, select_configuration
+from repro.fib.treebitmap import TreeBitmap
+
+__all__ = [
+    "LinearFib",
+    "MemoryModel",
+    "PatriciaFib",
+    "TbmConfig",
+    "TreeBitmap",
+    "average_lookup_accesses",
+    "select_configuration",
+    "tbm_memory_bytes",
+]

@@ -1,0 +1,52 @@
+"""A naive linear-scan FIB — the lookup oracle for Tree Bitmap tests."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+
+class LinearFib:
+    """Longest-prefix match by scanning every entry. O(n) lookups, O(1)
+    updates; exists for correctness cross-checks, not performance."""
+
+    def __init__(self, width: int = 32) -> None:
+        self.width = width
+        self._entries: dict[Prefix, Nexthop] = {}
+
+    @classmethod
+    def from_table(
+        cls,
+        table: Mapping[Prefix, Nexthop] | Iterable[tuple[Prefix, Nexthop]],
+        width: int = 32,
+    ) -> "LinearFib":
+        fib = cls(width)
+        items = table.items() if isinstance(table, Mapping) else table
+        for prefix, nexthop in items:
+            fib.insert(prefix, nexthop)
+        return fib
+
+    def insert(self, prefix: Prefix, nexthop: Nexthop) -> None:
+        if prefix.width != self.width:
+            raise ValueError(f"{prefix} does not fit a width-{self.width} FIB")
+        self._entries[prefix] = nexthop
+
+    def delete(self, prefix: Prefix) -> None:
+        del self._entries[prefix]
+
+    def lookup(self, address: int) -> Nexthop:
+        best = DROP
+        best_length = -1
+        for prefix, nexthop in self._entries.items():
+            if prefix.length > best_length and prefix.contains_address(address):
+                best = nexthop
+                best_length = prefix.length
+        return best
+
+    def entries(self) -> dict[Prefix, Nexthop]:
+        return dict(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

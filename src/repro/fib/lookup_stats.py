@@ -1,0 +1,183 @@
+"""Lookup cost T(·): expected memory accesses under uniform traffic.
+
+"We measure ... the lookup time expressed as the average number of memory
+accesses per lookup assuming every IP address *in the covered space* is
+equally likely to be looked up" (Section 4.2) — covered meaning routed:
+addresses whose lookup yields a real nexthop. Weighting by covered space
+(rather than the whole 2**width) is what makes T comparable between the
+OT and the AT: both cover exactly the same addresses.
+
+Every lookup touches the initial array once, then one access per Tree
+Bitmap node on its path; an address visits a node exactly when it lies in
+the node's region. So::
+
+    T = 1 + Σ over nodes of covered(region(node)) / covered(everything)
+
+computed exactly — no sampling — via a coverage-counting trie built from
+the FIB's own entries (explicit DROP entries mark *uncovered* space).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Optional
+
+from repro.fib.treebitmap import TreeBitmap
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+
+class _CNode:
+    __slots__ = ("left", "right", "label", "covered_fixed", "gap")
+
+    def __init__(self) -> None:
+        self.left: Optional[_CNode] = None
+        self.right: Optional[_CNode] = None
+        self.label: Optional[Nexthop] = None
+        #: Addresses under this node routed by labels at-or-below it.
+        self.covered_fixed: int = 0
+        #: Addresses under this node governed by labels *above* it.
+        self.gap: int = 0
+
+
+class CoverageMap:
+    """Counts routed addresses within arbitrary aligned regions of a table."""
+
+    def __init__(self, table: Mapping[Prefix, Nexthop], width: int) -> None:
+        self.width = width
+        self._root = _CNode()
+        for prefix, nexthop in table.items():
+            node = self._root
+            for index in range(prefix.length):
+                bit = prefix.bit(index)
+                nxt = node.right if bit else node.left
+                if nxt is None:
+                    nxt = _CNode()
+                    if bit:
+                        node.right = nxt
+                    else:
+                        node.left = nxt
+                node = nxt
+            node.label = nexthop
+        self._annotate(self._root, width)
+
+    def _annotate(self, node: _CNode, bits_left: int) -> None:
+        half = 1 << (bits_left - 1) if bits_left else 0
+        covered = 0
+        gap = 0
+        routed_here = node.label is not None and node.label != DROP
+        for child in (node.left, node.right):
+            if child is not None:
+                self._annotate(child, bits_left - 1)
+                covered += child.covered_fixed
+                if node.label is None:
+                    gap += child.gap
+                elif routed_here:
+                    covered += child.gap
+            else:
+                if node.label is None:
+                    gap += half
+                elif routed_here:
+                    covered += half
+        if node.left is None and node.right is None:
+            # A labeled leaf has no descendants; its whole region follows
+            # its own label. (An unlabeled leaf cannot exist.)
+            covered = (1 << bits_left) if routed_here else 0
+            gap = 0 if node.label is not None else (1 << bits_left)
+        node.covered_fixed = covered
+        node.gap = gap
+
+    def covered(self, value: int, length: int) -> int:
+        """Routed addresses within the aligned region (value, length)."""
+        node: Optional[_CNode] = self._root
+        context_routed = False
+        for index in range(length):
+            if node is not None and node.label is not None:
+                context_routed = node.label != DROP
+            bit = (value >> (self.width - 1 - index)) & 1
+            node = (node.right if bit else node.left) if node is not None else None
+            if node is None:
+                return (1 << (self.width - length)) if context_routed else 0
+        if node.label is not None:
+            context_routed = node.label != DROP
+        return node.covered_fixed + (node.gap if context_routed else 0)
+
+    def total_covered(self) -> int:
+        return self.covered(0, 0)
+
+
+def average_lookup_accesses(
+    fib: TreeBitmap, table: Optional[Mapping[Prefix, Nexthop]] = None
+) -> float:
+    """T(·): exact expected accesses per lookup over the covered space.
+
+    ``table`` defaults to the FIB's own entries. An empty covered space
+    (or empty FIB) yields 1.0 — the mandatory initial-array access.
+    """
+    coverage = CoverageMap(table if table is not None else fib.entries(), fib.width)
+    total = coverage.total_covered()
+    if total == 0:
+        return 1.0
+    accesses = 1.0
+    for _, value, consumed in fib.nodes_with_regions():
+        accesses += coverage.covered(value, consumed) / total
+    return accesses
+
+
+def entry_weighted_lookup_accesses(fib: TreeBitmap) -> float:
+    """T(·) with each *route* equally popular: the mean lookup cost over
+    destinations drawn per-entry rather than per-address.
+
+    Per-address weighting (above) concentrates traffic mass on short
+    prefixes (a /8 outweighs 65,536 /24s), which makes aggregation look
+    lookup-neutral. Weighting each FIB entry equally — every route
+    receives the same traffic share — matches the paper's reported
+    T(·) behaviour, where aggregation's shorter prefixes cut accesses by
+    ~25% (see EXPERIMENTS.md for the discussion). Empty FIB → 1.0.
+    """
+    entries = fib.entries()
+    if not entries:
+        return 1.0
+    total = 0
+    for prefix in entries:
+        remaining = prefix.length - fib.initial_stride
+        if remaining <= 0:
+            nodes = 0  # resolved by the initial array alone
+        else:
+            nodes = remaining // fib.stride + 1
+        total += 1 + nodes
+    return total / len(entries)
+
+
+def uniform_lookup_accesses(fib: TreeBitmap) -> float:
+    """Expected accesses when *every* address (routed or not) is equally
+    likely — the naive weighting, kept for comparison and tests."""
+    total = 1.0
+    for _, consumed in fib.nodes_with_depth():
+        total += 2.0 ** -consumed
+    return total
+
+
+def sampled_lookup_accesses(
+    fib: TreeBitmap,
+    samples: int = 10000,
+    seed: Optional[int] = None,
+    covered_only: bool = False,
+) -> float:
+    """Monte-Carlo estimate of the lookup cost (tests use it to validate
+    the exact computations). With ``covered_only``, rejection-samples
+    addresses that actually route."""
+    rng = random.Random(seed)
+    total = 0
+    count = 0
+    attempts = 0
+    while count < samples:
+        attempts += 1
+        if attempts > samples * 1000:
+            raise RuntimeError("covered space too sparse to sample")
+        address = rng.getrandbits(fib.width)
+        if covered_only and fib.lookup(address) == DROP:
+            continue
+        total += fib.lookup_accesses(address)
+        count += 1
+    return total / count

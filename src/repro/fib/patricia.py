@@ -1,0 +1,241 @@
+"""A path-compressed binary (Patricia) trie FIB.
+
+Section 4.2: "FIB data structures other than TBM may experience different
+levels of memory savings, depending on the actual mechanism used in
+storing the FIB entries. Router vendors must test against their own FIB
+storage methods." This second structure makes that testable: a classic
+path-compressed binary trie whose node count is linear in the number of
+entries (at most 2·n − 1 nodes), with a simple memory model
+(skip-compressed branch nodes of two pointers plus a bit index; entries
+carry their prefix and nexthop).
+
+Compared to Tree Bitmap: no stride tuning, worst-case lookup equal to the
+longest distinct-prefix path instead of W/stride, memory strictly
+proportional to entries — so aggregation's *entry* savings translate 1:1
+into memory savings here, where TBM's structural sharing damps them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+
+class PatriciaNode:
+    """A (possibly compressed) trie node.
+
+    ``prefix`` is the full prefix this node represents; children diverge
+    at bit ``prefix.length``. ``nexthop`` is None for pure branch nodes.
+    """
+
+    __slots__ = ("prefix", "nexthop", "left", "right")
+
+    def __init__(self, prefix: Prefix, nexthop: Optional[Nexthop] = None) -> None:
+        self.prefix = prefix
+        self.nexthop = nexthop
+        self.left: Optional[PatriciaNode] = None
+        self.right: Optional[PatriciaNode] = None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.nexthop is None
+
+    def child_count(self) -> int:
+        return (self.left is not None) + (self.right is not None)
+
+
+def _common_prefix(a: Prefix, b: Prefix) -> Prefix:
+    """The longest prefix both a and b extend."""
+    width = a.width
+    limit = min(a.length, b.length)
+    diff = (a.value ^ b.value) >> (width - limit) if limit else 0
+    if diff == 0:
+        common = limit
+    else:
+        common = limit - diff.bit_length()
+    mask_shift = width - common
+    value = (a.value >> mask_shift) << mask_shift if common else 0
+    return Prefix(value, common, width)
+
+
+class PatriciaFib:
+    """Longest-prefix-match over a path-compressed binary trie."""
+
+    def __init__(self, width: int = 32) -> None:
+        self.width = width
+        self._root: Optional[PatriciaNode] = None
+        self._count = 0
+
+    @classmethod
+    def from_table(
+        cls,
+        table: Mapping[Prefix, Nexthop] | Iterable[tuple[Prefix, Nexthop]],
+        width: int = 32,
+    ) -> "PatriciaFib":
+        fib = cls(width)
+        items = table.items() if isinstance(table, Mapping) else table
+        for prefix, nexthop in items:
+            fib.insert(prefix, nexthop)
+        return fib
+
+    # -- updates --------------------------------------------------------------
+
+    def insert(self, prefix: Prefix, nexthop: Nexthop) -> None:
+        if prefix.width != self.width:
+            raise ValueError(f"{prefix} does not fit a width-{self.width} FIB")
+        if self._root is None:
+            self._root = PatriciaNode(prefix, nexthop)
+            self._count = 1
+            return
+        self._root, added = self._insert_into(self._root, prefix, nexthop)
+        self._count += added
+
+    def _insert_into(
+        self, node: PatriciaNode, prefix: Prefix, nexthop: Nexthop
+    ) -> tuple[PatriciaNode, int]:
+        common = _common_prefix(node.prefix, prefix)
+        if common.length < node.prefix.length:
+            # Split: a new branch (or entry) node above `node`.
+            if common.length == prefix.length:
+                parent = PatriciaNode(prefix, nexthop)
+            else:
+                parent = PatriciaNode(common)
+            self._attach(parent, node)
+            if common.length < prefix.length:
+                self._attach(parent, PatriciaNode(prefix, nexthop))
+            return parent, 1
+        # node.prefix is a prefix of `prefix`.
+        if prefix.length == node.prefix.length:
+            added = 1 if node.nexthop is None else 0
+            node.nexthop = nexthop
+            return node, added
+        bit = prefix.bit(node.prefix.length)
+        child = node.right if bit else node.left
+        if child is None:
+            self._attach(node, PatriciaNode(prefix, nexthop))
+            return node, 1
+        new_child, added = self._insert_into(child, prefix, nexthop)
+        if bit:
+            node.right = new_child
+        else:
+            node.left = new_child
+        return node, added
+
+    def _attach(self, parent: PatriciaNode, child: PatriciaNode) -> None:
+        if child.prefix.bit(parent.prefix.length):
+            parent.right = child
+        else:
+            parent.left = child
+
+    def delete(self, prefix: Prefix) -> None:
+        """Remove an entry; missing prefixes raise KeyError."""
+        path: list[PatriciaNode] = []
+        node = self._root
+        while node is not None:
+            if node.prefix == prefix:
+                break
+            if not node.prefix.contains(prefix) or node.prefix.length >= prefix.length:
+                node = None
+                break
+            path.append(node)
+            node = (
+                node.right if prefix.bit(node.prefix.length) else node.left
+            )
+        if node is None or node.nexthop is None:
+            raise KeyError(f"{prefix} is not in the FIB")
+        node.nexthop = None
+        self._count -= 1
+        self._compact_upward(path, node)
+
+    def _compact_upward(
+        self, path: list[PatriciaNode], node: PatriciaNode
+    ) -> None:
+        """Remove now-pointless branch nodes after a delete."""
+        chain = path + [node]
+        for index in range(len(chain) - 1, -1, -1):
+            current = chain[index]
+            if current.nexthop is not None:
+                break
+            children = current.child_count()
+            if children >= 2:
+                break
+            # Zero or one child: splice this branch node out.
+            replacement = current.left if current.left is not None else current.right
+            if index == 0:
+                self._root = replacement
+            else:
+                parent = chain[index - 1]
+                if parent.left is current:
+                    parent.left = replacement
+                else:
+                    parent.right = replacement
+
+    # -- lookup ------------------------------------------------------------------
+
+    def lookup(self, address: int) -> Nexthop:
+        best = DROP
+        node = self._root
+        while node is not None:
+            if not node.prefix.contains_address(address):
+                break
+            if node.nexthop is not None:
+                best = node.nexthop
+            if node.prefix.length >= self.width:
+                break
+            bit = (address >> (self.width - 1 - node.prefix.length)) & 1
+            node = node.right if bit else node.left
+        return best
+
+    def lookup_steps(self, address: int) -> int:
+        """Nodes visited for one lookup (the Patricia cost measure)."""
+        steps = 0
+        node = self._root
+        while node is not None:
+            if not node.prefix.contains_address(address):
+                break
+            steps += 1
+            if node.prefix.length >= self.width:
+                break
+            bit = (address >> (self.width - 1 - node.prefix.length)) & 1
+            node = node.right if bit else node.left
+        return max(steps, 1)
+
+    # -- accounting ----------------------------------------------------------------
+
+    def node_count(self) -> int:
+        count = 0
+        for _ in self._nodes():
+            count += 1
+        return count
+
+    def _nodes(self) -> Iterator[PatriciaNode]:
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+
+    def memory_bytes(
+        self, branch_bytes: int = 12, entry_bytes: int = 16
+    ) -> int:
+        """A simple model: branch nodes hold two pointers + a bit index
+        (12 B); entry nodes additionally store the nexthop (16 B)."""
+        total = 0
+        for node in self._nodes():
+            total += entry_bytes if node.nexthop is not None else branch_bytes
+        return total
+
+    def entries(self) -> dict[Prefix, Nexthop]:
+        return {
+            node.prefix: node.nexthop
+            for node in self._nodes()
+            if node.nexthop is not None
+        }
+
+    def __len__(self) -> int:
+        return self._count

@@ -1,0 +1,74 @@
+"""Tree Bitmap configuration selection.
+
+"We tested a variety of stride lengths and selected the one that
+minimizes the memory requirement" (Section 4.2). The paper fixed the
+Initial Array Optimization + constant stride 4; this module sweeps the
+valid (initial_stride, stride) combinations and picks the cheapest for a
+given table, which is how every experiment chooses its FIB layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.fib.memory import MemoryModel, PAPER_MODEL
+from repro.fib.treebitmap import TreeBitmap
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class TbmConfig:
+    """One Tree Bitmap layout choice."""
+
+    initial_stride: int
+    stride: int
+
+    def build(
+        self,
+        table: Mapping[Prefix, Nexthop] | Iterable[tuple[Prefix, Nexthop]],
+        width: int = 32,
+    ) -> TreeBitmap:
+        return TreeBitmap.from_table(
+            table, width=width, initial_stride=self.initial_stride, stride=self.stride
+        )
+
+
+#: The paper's configuration: Initial Array + constant stride 4.
+PAPER_CONFIG = TbmConfig(initial_stride=12, stride=4)
+
+
+def valid_configurations(
+    width: int = 32,
+    strides: Sequence[int] = (4,),
+    initial_strides: Sequence[int] = (4, 8, 12, 16),
+) -> list[TbmConfig]:
+    """All layouts where the strides tile the address width exactly."""
+    return [
+        TbmConfig(initial_stride=s0, stride=s)
+        for s0 in initial_strides
+        for s in strides
+        if s0 < width and (width - s0) % s == 0
+    ]
+
+
+def select_configuration(
+    table: Mapping[Prefix, Nexthop],
+    width: int = 32,
+    candidates: Sequence[TbmConfig] | None = None,
+    model: MemoryModel = PAPER_MODEL,
+) -> tuple[TbmConfig, TreeBitmap]:
+    """The memory-minimal configuration for ``table`` and its built FIB."""
+    if candidates is None:
+        candidates = valid_configurations(width)
+    if not candidates:
+        raise ValueError("no valid Tree Bitmap configurations to choose from")
+    best: tuple[int, TbmConfig, TreeBitmap] | None = None
+    for config in candidates:
+        fib = config.build(table, width)
+        cost = model.total(fib)
+        if best is None or cost < best[0]:
+            best = (cost, config, fib)
+    assert best is not None
+    return best[1], best[2]

@@ -1,0 +1,329 @@
+"""The Tree Bitmap multibit-trie FIB (software reference design).
+
+Structure (Eatherton et al., with the paper's configuration):
+
+- An **initial array** indexed by the first ``initial_stride`` address
+  bits. Each slot holds the best-matching nexthop among prefixes no
+  longer than the initial stride, plus a pointer to a Tree Bitmap node
+  for the longer prefixes falling in that slot.
+- **Tree Bitmap nodes**, each covering ``stride`` further address bits.
+  A node stores an *internal bitmap* (2**stride − 1 bits: the prefixes
+  ending inside the node, in heap order) and an *external bitmap*
+  (2**stride bits: which children exist). The paper's configuration is
+  stride 4 → 15 + 16 bitmap bits + a 32-bit pointer = an 8-byte node.
+
+Lookup cost is one memory access for the initial array plus one per node
+visited; :mod:`repro.fib.lookup_stats` integrates this over a uniform
+traffic matrix exactly.
+
+Incremental updates (insert/delete) are supported so the router pipeline
+can apply FIB downloads directly to the structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+
+class TbmNode:
+    """One Tree Bitmap node covering ``stride`` address bits."""
+
+    __slots__ = ("internal", "results", "children")
+
+    def __init__(self, stride: int) -> None:
+        #: Internal bitmap as an int; bit i set ⇔ heap position i holds a
+        #: prefix ending inside this node.
+        self.internal = 0
+        #: Heap position → nexthop for set internal bits.
+        self.results: dict[int, Nexthop] = {}
+        #: Chunk value → child node (the external bitmap is implicit).
+        self.children: dict[int, "TbmNode"] = {}
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.results and not self.children
+
+
+def _heap_position(length: int, bits: int) -> int:
+    """Heap-order position of a relative prefix: lengths 0..stride-1."""
+    return (1 << length) - 1 + bits
+
+
+class TreeBitmap:
+    """A Tree Bitmap FIB over a ``width``-bit address space."""
+
+    def __init__(
+        self,
+        width: int = 32,
+        initial_stride: int = 12,
+        stride: int = 4,
+    ) -> None:
+        if initial_stride < 1 or initial_stride > width:
+            raise ValueError(f"initial stride {initial_stride} outside [1, {width}]")
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        if (width - initial_stride) % stride:
+            raise ValueError(
+                f"width {width} minus initial stride {initial_stride} must be "
+                f"a multiple of the stride {stride}"
+            )
+        self.width = width
+        self.initial_stride = initial_stride
+        self.stride = stride
+        #: Best nexthop among prefixes of length <= initial_stride, per slot.
+        self._slot_results: list[Nexthop] = [DROP] * (1 << initial_stride)
+        #: Subtrie roots for prefixes longer than the initial stride.
+        self._slot_children: dict[int, TbmNode] = {}
+        #: All entries, kept to recompute slot results on short deletes.
+        self._entries: dict[Prefix, Nexthop] = {}
+        #: Churn accounting: the structural write cost of the download
+        #: stream (nodes allocated/freed, initial-array slots rewritten) —
+        #: what a hardware FIB actually pays per update.
+        self.nodes_allocated = 0
+        self.nodes_freed = 0
+        self.slots_rewritten = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_table(
+        cls,
+        table: Mapping[Prefix, Nexthop] | Iterable[tuple[Prefix, Nexthop]],
+        width: int = 32,
+        initial_stride: int = 12,
+        stride: int = 4,
+    ) -> "TreeBitmap":
+        fib = cls(width, initial_stride, stride)
+        items = table.items() if isinstance(table, Mapping) else table
+        for prefix, nexthop in items:
+            fib.insert(prefix, nexthop)
+        return fib
+
+    # -- updates ------------------------------------------------------------
+
+    def insert(self, prefix: Prefix, nexthop: Nexthop) -> None:
+        """Insert or overwrite an entry."""
+        if prefix.width != self.width:
+            raise ValueError(f"{prefix} does not fit a width-{self.width} FIB")
+        self._entries[prefix] = nexthop
+        if prefix.length <= self.initial_stride:
+            self._recompute_slot_range(prefix)
+        else:
+            node = self._node_for(prefix, create=True)
+            assert node is not None
+            position = self._internal_position(prefix)
+            node.internal |= 1 << position
+            node.results[position] = nexthop
+
+    def delete(self, prefix: Prefix) -> None:
+        """Remove an entry; missing prefixes raise KeyError."""
+        del self._entries[prefix]
+        if prefix.length <= self.initial_stride:
+            self._recompute_slot_range(prefix)
+            return
+        path = self._node_path(prefix)
+        if path is None:
+            raise KeyError(f"{prefix} has no Tree Bitmap node")
+        node = path[-1][2]
+        position = self._internal_position(prefix)
+        node.internal &= ~(1 << position)
+        node.results.pop(position, None)
+        self._prune_path(path)
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup(self, address: int) -> Nexthop:
+        """Longest-prefix-match; DROP when nothing matches."""
+        slot = address >> (self.width - self.initial_stride)
+        best = self._slot_results[slot]
+        node = self._slot_children.get(slot)
+        consumed = self.initial_stride
+        while node is not None:
+            bits_left = self.width - consumed
+            chunk = (
+                (address >> (bits_left - self.stride)) & ((1 << self.stride) - 1)
+                if bits_left >= self.stride
+                else 0
+            )
+            match = self._longest_internal(node, chunk, min(bits_left, self.stride))
+            if match is not None:
+                best = match
+            if bits_left < self.stride:
+                break
+            node = node.children.get(chunk)
+            consumed += self.stride
+        return best
+
+    def lookup_accesses(self, address: int) -> int:
+        """Memory accesses for one lookup: initial array + nodes visited."""
+        slot = address >> (self.width - self.initial_stride)
+        node = self._slot_children.get(slot)
+        accesses = 1
+        consumed = self.initial_stride
+        while node is not None:
+            accesses += 1
+            bits_left = self.width - consumed
+            if bits_left < self.stride:
+                break
+            chunk = (address >> (bits_left - self.stride)) & ((1 << self.stride) - 1)
+            node = node.children.get(chunk)
+            consumed += self.stride
+        return accesses
+
+    def _longest_internal(
+        self, node: TbmNode, chunk: int, chunk_bits: int
+    ) -> Optional[Nexthop]:
+        for length in range(min(self.stride - 1, chunk_bits), -1, -1):
+            bits = chunk >> (chunk_bits - length) if length else 0
+            position = _heap_position(length, bits)
+            if node.internal >> position & 1:
+                return node.results[position]
+        return None
+
+    # -- structure accounting -------------------------------------------------
+
+    def node_count(self) -> int:
+        count = 0
+        stack = list(self._slot_children.values())
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count
+
+    def nodes_with_depth(self) -> Iterator[tuple[TbmNode, int]]:
+        """All nodes with the number of address bits consumed above them."""
+        stack = [
+            (node, self.initial_stride) for node in self._slot_children.values()
+        ]
+        while stack:
+            node, consumed = stack.pop()
+            yield node, consumed
+            stack.extend(
+                (child, consumed + self.stride) for child in node.children.values()
+            )
+
+    def nodes_with_regions(self) -> Iterator[tuple[TbmNode, int, int]]:
+        """All nodes as (node, region_value, bits_consumed) — the region is
+        the aligned address block whose lookups visit the node."""
+        stack = [
+            (node, slot << (self.width - self.initial_stride), self.initial_stride)
+            for slot, node in self._slot_children.items()
+        ]
+        while stack:
+            node, value, consumed = stack.pop()
+            yield node, value, consumed
+            shift = self.width - consumed - self.stride
+            for chunk, child in node.children.items():
+                stack.append(
+                    (child, value | (chunk << shift), consumed + self.stride)
+                )
+
+    def result_count(self) -> int:
+        """Stored nexthop results inside nodes (internal bitmap population)."""
+        return sum(len(node.results) for node, _ in self.nodes_with_depth())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> dict[Prefix, Nexthop]:
+        return dict(self._entries)
+
+    # -- internals --------------------------------------------------------------
+
+    def _slot_range(self, prefix: Prefix) -> tuple[int, int]:
+        """Initial-array slots covered by a short prefix (half-open)."""
+        shift = self.width - self.initial_stride
+        first = prefix.value >> shift
+        count = 1 << (self.initial_stride - prefix.length)
+        return first, first + count
+
+    def _recompute_slot_range(self, prefix: Prefix) -> None:
+        """Rebuild slot results for the region a short prefix covers."""
+        first, stop = self._slot_range(prefix)
+        shift = self.width - self.initial_stride
+        short = [
+            (p, nh)
+            for p, nh in self._entries.items()
+            if p.length <= self.initial_stride
+        ]
+        for slot in range(first, stop):
+            slot_value = slot << shift
+            best = DROP
+            best_length = -1
+            for candidate, nexthop in short:
+                if candidate.length > best_length and candidate.contains_address(
+                    slot_value
+                ):
+                    best = nexthop
+                    best_length = candidate.length
+            if self._slot_results[slot] != best:
+                self._slot_results[slot] = best
+                self.slots_rewritten += 1
+
+    def _node_for(self, prefix: Prefix, create: bool) -> Optional[TbmNode]:
+        path = self._node_path(prefix, create=create)
+        return path[-1][2] if path else None
+
+    def _node_path(
+        self, prefix: Prefix, create: bool = False
+    ) -> Optional[list[tuple[Optional[TbmNode], int, TbmNode]]]:
+        """The (parent, chunk, node) chain from the slot root to the node
+        owning ``prefix``; None when absent and not creating."""
+        slot = prefix.value >> (self.width - self.initial_stride)
+        node = self._slot_children.get(slot)
+        if node is None:
+            if not create:
+                return None
+            node = TbmNode(self.stride)
+            self._slot_children[slot] = node
+            self.nodes_allocated += 1
+        path: list[tuple[Optional[TbmNode], int, TbmNode]] = [(None, slot, node)]
+        remaining = prefix.length - self.initial_stride
+        consumed = self.initial_stride
+        while remaining >= self.stride:
+            bits_left = self.width - consumed
+            chunk = (prefix.value >> (bits_left - self.stride)) & (
+                (1 << self.stride) - 1
+            )
+            child = node.children.get(chunk)
+            if child is None:
+                if not create:
+                    return None
+                child = TbmNode(self.stride)
+                node.children[chunk] = child
+                self.nodes_allocated += 1
+            path.append((node, chunk, child))
+            node = child
+            remaining -= self.stride
+            consumed += self.stride
+        return path
+
+    def _internal_position(self, prefix: Prefix) -> int:
+        relative = (prefix.length - self.initial_stride) % self.stride
+        if relative == 0 and prefix.length > self.initial_stride:
+            # Lengths on a stride boundary live at position 0 of the node
+            # *below* the boundary (the node path descends that far).
+            relative = 0
+        bits = (
+            (prefix.value >> (self.width - prefix.length))
+            & ((1 << relative) - 1)
+            if relative
+            else 0
+        )
+        return _heap_position(relative, bits)
+
+    def _prune_path(self, path: list[tuple[Optional[TbmNode], int, TbmNode]]) -> None:
+        for parent, chunk, node in reversed(path):
+            if not node.is_empty:
+                break
+            if parent is None:
+                if self._slot_children.get(chunk) is node:
+                    del self._slot_children[chunk]
+                    self.nodes_freed += 1
+            else:
+                if parent.children.pop(chunk, None) is not None:
+                    self.nodes_freed += 1

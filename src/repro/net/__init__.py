@@ -1,0 +1,24 @@
+"""Network primitives: prefixes, nexthops, and route updates.
+
+These are the value types shared by every other subsystem: the binary
+tries in :mod:`repro.core`, the Tree Bitmap FIB in :mod:`repro.fib`, the
+BGP machinery in :mod:`repro.bgp`, and the workload generators in
+:mod:`repro.workloads`.
+"""
+
+from repro.net.nexthop import DROP, Nexthop, NexthopRegistry, RoundRobinIgpMapper
+from repro.net.prefix import IPV4_WIDTH, IPV6_WIDTH, Prefix
+from repro.net.update import RouteUpdate, UpdateKind, UpdateTrace
+
+__all__ = [
+    "DROP",
+    "IPV4_WIDTH",
+    "IPV6_WIDTH",
+    "Nexthop",
+    "NexthopRegistry",
+    "Prefix",
+    "RoundRobinIgpMapper",
+    "RouteUpdate",
+    "UpdateKind",
+    "UpdateTrace",
+]

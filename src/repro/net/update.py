@@ -1,0 +1,107 @@
+"""Route updates and update traces.
+
+The paper's Figure 1 interface: the route-resolution function emits a
+stream of non-aggregated ``Insert(N, Q)`` / ``Delete(N)`` calls; SMALTA
+consumes them. :class:`RouteUpdate` is one element of that stream;
+:class:`UpdateTrace` is a replayable sequence with simple statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+
+
+class UpdateKind(enum.Enum):
+    """Announce carries a nexthop (insert-or-change); withdraw removes."""
+
+    ANNOUNCE = "announce"
+    WITHDRAW = "withdraw"
+
+
+@dataclass(frozen=True)
+class RouteUpdate:
+    """One non-aggregated routing update destined for the FIB.
+
+    ``timestamp`` is seconds since trace start (float; traces are replayed
+    logically, so it only matters for burstiness/reporting).
+    """
+
+    kind: UpdateKind
+    prefix: Prefix
+    nexthop: Optional[Nexthop] = None
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind is UpdateKind.ANNOUNCE and self.nexthop is None:
+            raise ValueError("announce requires a nexthop")
+        if self.kind is UpdateKind.WITHDRAW and self.nexthop is not None:
+            raise ValueError("withdraw must not carry a nexthop")
+
+    @classmethod
+    def announce(
+        cls, prefix: Prefix, nexthop: Nexthop, timestamp: float = 0.0
+    ) -> "RouteUpdate":
+        return cls(UpdateKind.ANNOUNCE, prefix, nexthop, timestamp)
+
+    @classmethod
+    def withdraw(cls, prefix: Prefix, timestamp: float = 0.0) -> "RouteUpdate":
+        return cls(UpdateKind.WITHDRAW, prefix, None, timestamp)
+
+    @property
+    def is_announce(self) -> bool:
+        return self.kind is UpdateKind.ANNOUNCE
+
+
+@dataclass
+class UpdateTrace:
+    """A replayable sequence of updates with summary statistics."""
+
+    updates: list[RouteUpdate] = field(default_factory=list)
+    name: str = "trace"
+
+    def append(self, update: RouteUpdate) -> None:
+        self.updates.append(update)
+
+    def extend(self, updates: Iterable[RouteUpdate]) -> None:
+        self.updates.extend(updates)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __iter__(self) -> Iterator[RouteUpdate]:
+        return iter(self.updates)
+
+    def __getitem__(self, index):
+        return self.updates[index]
+
+    @property
+    def announce_count(self) -> int:
+        return sum(1 for u in self.updates if u.is_announce)
+
+    @property
+    def withdraw_count(self) -> int:
+        return len(self.updates) - self.announce_count
+
+    @property
+    def duration(self) -> float:
+        """Trace span in seconds (0 for empty or untimestamped traces)."""
+        if not self.updates:
+            return 0.0
+        return self.updates[-1].timestamp - self.updates[0].timestamp
+
+    def touched_prefixes(self) -> set[Prefix]:
+        return {u.prefix for u in self.updates}
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "updates": len(self),
+            "announces": self.announce_count,
+            "withdraws": self.withdraw_count,
+            "unique_prefixes": len(self.touched_prefixes()),
+            "duration_s": self.duration,
+        }

@@ -1,0 +1,29 @@
+"""Multi-router forwarding simulation: the whiteholing loop analysis.
+
+The paper (Sections 6 and 7): whiteholing aggregation schemes (Level-3/4)
+"can have much better aggregation, but also risk forming routing loops.
+It would be interesting to consider whether loops could be eliminated in
+such an approach." This package makes the risk executable: a network of
+routers, each with its own FIB; packets are traced hop by hop; a loop
+census classifies every region of the address space as delivered,
+dropped, or looping.
+
+SMALTA/L1/L2 FIBs never loop (they are semantically exact); whiteholed
+FIBs demonstrably do when two routers whitehole the same hole toward
+each other.
+"""
+
+from repro.netsim.forwarding import Outcome, loop_census, trace_path
+from repro.netsim.network import EGRESS, Network, Router
+from repro.netsim.scenario import aggregate_network, build_two_border_scenario
+
+__all__ = [
+    "EGRESS",
+    "Network",
+    "Outcome",
+    "Router",
+    "aggregate_network",
+    "build_two_border_scenario",
+    "loop_census",
+    "trace_path",
+]

@@ -1,0 +1,103 @@
+"""Packet tracing and the loop census."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.net.nexthop import DROP
+from repro.netsim.network import EGRESS, Network
+
+
+class Outcome(enum.Enum):
+    DELIVERED = "delivered"  # reached an EGRESS nexthop
+    DROPPED = "dropped"  # no route (or explicit null route) en route
+    LOOP = "loop"  # revisited a router: a forwarding loop
+    BLACKHOLE = "blackhole"  # handed to a nexthop with no neighbor mapping
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    outcome: Outcome
+    path: tuple[str, ...]
+
+
+def trace_path(
+    network: Network, source: str, address: int, max_hops: int = 64
+) -> TraceResult:
+    """Follow one packet hop by hop until delivery, drop, or loop."""
+    current = source
+    visited: list[str] = []
+    seen: set[str] = set()
+    for _ in range(max_hops):
+        if current in seen:
+            return TraceResult(Outcome.LOOP, tuple(visited + [current]))
+        seen.add(current)
+        visited.append(current)
+        nexthop = network.router(current).lookup(address)
+        if nexthop == DROP:
+            return TraceResult(Outcome.DROPPED, tuple(visited))
+        if nexthop == EGRESS:
+            return TraceResult(Outcome.DELIVERED, tuple(visited))
+        neighbor = network.router(current).neighbor_for(nexthop)
+        if neighbor is None:
+            return TraceResult(Outcome.BLACKHOLE, tuple(visited))
+        current = neighbor
+    # Exhausting the hop budget without repeating is still a loop in
+    # spirit (TTL expiry); real loops repeat long before 64 hops here.
+    return TraceResult(Outcome.LOOP, tuple(visited))
+
+
+def probe_addresses(*networks: Network) -> list[int]:
+    """Deterministic probe set: one representative per region boundary.
+
+    Forwarding outcomes are constant within the regions induced by all
+    prefix boundaries across all routers, so probing one representative
+    per boundary covers every distinct outcome class exactly. Pass every
+    network being compared — the union of their boundaries keeps censuses
+    comparable across differently-aggregated copies.
+    """
+    boundaries: set[int] = {0}
+    for network in networks:
+        for router in network.routers.values():
+            for prefix in router.table:
+                first, stop = prefix.address_range()
+                boundaries.add(first)
+                if stop < (1 << network.width):
+                    boundaries.add(stop)
+    return sorted(boundaries)
+
+
+def loop_census(
+    network: Network,
+    sources: Iterable[str] | None = None,
+    addresses: Iterable[int] | None = None,
+) -> dict[Outcome, int]:
+    """Count address-region × source outcomes across the network.
+
+    With the default probe set the counts weigh each *distinct forwarding
+    region* once per source router (not per address, which would let one
+    /8 drown out everything else).
+    """
+    if sources is None:
+        sources = list(network.names())
+    if addresses is None:
+        addresses = probe_addresses(network)
+    census = {outcome: 0 for outcome in Outcome}
+    for address in addresses:
+        for source in sources:
+            census[trace_path(network, source, address).outcome] += 1
+    return census
+
+
+def looping_regions(
+    network: Network, source: str
+) -> list[tuple[int, Outcome]]:
+    """The probe addresses that loop from ``source`` (for diagnostics)."""
+    results = []
+    for address in probe_addresses(network):
+        result = trace_path(network, source, address)
+        if result.outcome is Outcome.LOOP:
+            results.append((address, result.outcome))
+    return results

@@ -1,0 +1,94 @@
+"""Routers, links, and per-router FIBs.
+
+Nexthop semantics inside the simulation: a router's FIB maps prefixes to
+:class:`~repro.net.nexthop.Nexthop` objects whose *names* identify either
+a neighboring router (the packet is handed over) or the distinguished
+``EGRESS`` nexthop (the packet leaves the modeled network — delivered).
+DROP (or no match) discards the packet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+#: The "leaves our network" nexthop: a lookup resolving here is delivery.
+EGRESS = Nexthop(9_999_999, "EGRESS")
+
+
+class Router:
+    """One router: a name, a FIB, and nexthop→neighbor resolution."""
+
+    def __init__(self, name: str, width: int = 32) -> None:
+        self.name = name
+        self.width = width
+        self.table: dict[Prefix, Nexthop] = {}
+        #: nexthop key → neighbor router name (EGRESS handled separately).
+        self._adjacency: dict[int, str] = {}
+
+    def connect(self, nexthop: Nexthop, neighbor: str) -> None:
+        """Declare that ``nexthop`` reaches the named neighbor router."""
+        self._adjacency[nexthop.key] = neighbor
+
+    def install(self, prefix: Prefix, nexthop: Nexthop) -> None:
+        if prefix.width != self.width:
+            raise ValueError(f"{prefix} does not fit width {self.width}")
+        self.table[prefix] = nexthop
+
+    def install_table(self, table: dict[Prefix, Nexthop]) -> None:
+        for prefix, nexthop in table.items():
+            self.install(prefix, nexthop)
+
+    def lookup(self, address: int) -> Nexthop:
+        best = DROP
+        best_length = -1
+        for prefix, nexthop in self.table.items():
+            if prefix.length > best_length and prefix.contains_address(address):
+                best = nexthop
+                best_length = prefix.length
+        return best
+
+    def neighbor_for(self, nexthop: Nexthop) -> Optional[str]:
+        """The neighbor a nexthop reaches; None for EGRESS/DROP/unknown."""
+        return self._adjacency.get(nexthop.key)
+
+
+class Network:
+    """A set of routers plus the (networkx) link graph."""
+
+    def __init__(self, width: int = 32) -> None:
+        self.width = width
+        self.routers: dict[str, Router] = {}
+        self.graph = nx.Graph()
+
+    def add_router(self, name: str) -> Router:
+        if name in self.routers:
+            raise ValueError(f"router {name!r} already exists")
+        router = Router(name, self.width)
+        self.routers[name] = router
+        self.graph.add_node(name)
+        return router
+
+    def link(self, a: str, b: str, nexthop_ab: Nexthop, nexthop_ba: Nexthop) -> None:
+        """Connect two routers; each side names its interface nexthop."""
+        if a not in self.routers or b not in self.routers:
+            raise KeyError("both routers must exist before linking")
+        self.graph.add_edge(a, b)
+        self.routers[a].connect(nexthop_ab, b)
+        self.routers[b].connect(nexthop_ba, a)
+
+    def router(self, name: str) -> Router:
+        return self.routers[name]
+
+    def names(self) -> Iterable[str]:
+        return self.routers.keys()
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.graph) if self.graph.nodes else False
+
+    def shortest_path(self, a: str, b: str) -> list[str]:
+        return nx.shortest_path(self.graph, a, b)

@@ -1,0 +1,19 @@
+"""The simulated software router — the Quagga integration of Section 5.
+
+**Substitution note (see DESIGN.md):** the paper adds <2000 lines to
+Quagga's zebra daemon, intercepting ``rib_install_kernel()`` /
+``rib_uninstall_kernel()`` so all kernel-bound updates pass through
+SMALTA. This package reproduces that architecture as a pure-Python
+simulation: :class:`~repro.router.kernel.KernelFib` stands in for the
+netlink-programmed kernel table, :class:`~repro.router.zebra.Zebra`
+implements the interposition layer (with the CLI activation knob), and
+:class:`~repro.router.pipeline.RouterPipeline` wires BGP sessions →
+best-path → zebra → kernel, the full Figure 1.
+"""
+
+from repro.router.cli import RouterCli
+from repro.router.kernel import KernelFib
+from repro.router.pipeline import PipelineStats, RouterPipeline
+from repro.router.zebra import Zebra
+
+__all__ = ["KernelFib", "PipelineStats", "RouterCli", "RouterPipeline", "Zebra"]

@@ -1,0 +1,73 @@
+"""A minimal router CLI — the activation knob of the Quagga port.
+
+"We allow the activation of SMALTA at this layer through the router CLI"
+(Section 5). Commands operate on a :class:`~repro.router.zebra.Zebra`
+instance and return the text a terminal would print.
+"""
+
+from __future__ import annotations
+
+from repro.router.zebra import Zebra
+
+
+class RouterCli:
+    """Parse-and-execute for the supported command set."""
+
+    COMMANDS = (
+        "smalta enable",
+        "smalta disable",
+        "smalta snapshot",
+        "show smalta status",
+        "show fib summary",
+        "show fib",
+        "show rib summary",
+        "help",
+    )
+
+    def __init__(self, zebra: Zebra) -> None:
+        self.zebra = zebra
+
+    def execute(self, line: str) -> str:
+        command = " ".join(line.split()).lower()
+        if command == "help":
+            return "\n".join(self.COMMANDS)
+        if command == "smalta enable":
+            downloads = self.zebra.enable_smalta()
+            return f"SMALTA enabled ({len(downloads)} FIB downloads)"
+        if command == "smalta disable":
+            downloads = self.zebra.disable_smalta()
+            return f"SMALTA disabled ({len(downloads)} FIB downloads)"
+        if command == "smalta snapshot":
+            if not self.zebra.smalta_enabled:
+                return "SMALTA is disabled"
+            burst = self.zebra.snapshot_now()
+            duration = self.zebra.manager.last_snapshot_duration or 0.0
+            return (
+                f"snapshot complete: {len(burst)} FIB downloads, "
+                f"{duration * 1000:.1f} ms"
+            )
+        if command == "show smalta status":
+            manager = self.zebra.manager
+            state = "enabled" if manager.enabled else "disabled"
+            return (
+                f"SMALTA: {state}\n"
+                f"  original tree entries:   {manager.ot_size}\n"
+                f"  aggregated tree entries: {manager.at_size}\n"
+                f"  updates since snapshot:  {manager.updates_since_snapshot}\n"
+                f"  snapshots run:           {manager.log.snapshot_count}"
+            )
+        if command == "show fib summary":
+            kernel = self.zebra.kernel
+            return (
+                f"kernel FIB: {len(kernel)} entries "
+                f"({kernel.installs} installs, {kernel.uninstalls} uninstalls)"
+            )
+        if command == "show fib":
+            rows = [
+                f"{prefix} -> {nexthop}"
+                for prefix, nexthop in sorted(self.zebra.kernel.table().items())
+            ]
+            return "\n".join(rows) if rows else "(empty)"
+        if command == "show rib summary":
+            return f"RIB (original tree): {self.zebra.manager.ot_size} entries"
+        return f"unknown command: {line!r} (try 'help')"

@@ -1,0 +1,111 @@
+"""Zebra — the RIB-to-kernel layer with the SMALTA interposition.
+
+In Quagga, protocol daemons hand best routes to zebra, which programs the
+kernel via ``rib_install_kernel()`` / ``rib_uninstall_kernel()``. The
+paper's port re-routes those two functions through SMALTA so the kernel
+receives the *aggregated* stream instead. This class reproduces that
+seam, including runtime activation and deactivation from the CLI:
+
+- enabling SMALTA swaps the kernel table to the aggregated one via a
+  snapshot delta;
+- disabling swaps it back to the exact OT (de-aggregation delta).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.downloads import DownloadLog, FibDownload, diff_tables
+from repro.core.manager import SmaltaManager
+from repro.core.policy import SnapshotPolicy
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate
+from repro.router.kernel import KernelFib
+
+
+class Zebra:
+    """The daemon: owns a SmaltaManager and the kernel download socket."""
+
+    def __init__(
+        self,
+        kernel: Optional[KernelFib] = None,
+        width: int = 32,
+        smalta_enabled: bool = True,
+        policy: Optional[SnapshotPolicy] = None,
+        download_log: Optional[DownloadLog] = None,
+    ) -> None:
+        self.kernel = kernel if kernel is not None else KernelFib(width)
+        self.manager = SmaltaManager(
+            width=width,
+            policy=policy,
+            enabled=smalta_enabled,
+            download_log=download_log,
+        )
+
+    # -- the two intercepted functions --------------------------------------
+
+    def rib_install_kernel(
+        self, prefix: Prefix, nexthop: Nexthop, timestamp: float = 0.0
+    ) -> list[FibDownload]:
+        """Quagga's install path: one best route toward the kernel."""
+        downloads = self.manager.apply(
+            RouteUpdate.announce(prefix, nexthop, timestamp)
+        )
+        self.kernel.apply_all(downloads)
+        return downloads
+
+    def rib_uninstall_kernel(
+        self, prefix: Prefix, timestamp: float = 0.0
+    ) -> list[FibDownload]:
+        """Quagga's uninstall path."""
+        downloads = self.manager.apply(RouteUpdate.withdraw(prefix, timestamp))
+        self.kernel.apply_all(downloads)
+        return downloads
+
+    def apply_update(self, update: RouteUpdate) -> list[FibDownload]:
+        downloads = self.manager.apply(update)
+        self.kernel.apply_all(downloads)
+        return downloads
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def end_of_rib(self) -> list[FibDownload]:
+        downloads = self.manager.end_of_rib()
+        self.kernel.apply_all(downloads)
+        return downloads
+
+    def snapshot_now(self) -> list[FibDownload]:
+        downloads = self.manager.snapshot_now()
+        self.kernel.apply_all(downloads)
+        return downloads
+
+    # -- CLI activation knob --------------------------------------------------------
+
+    @property
+    def smalta_enabled(self) -> bool:
+        return self.manager.enabled
+
+    def enable_smalta(self) -> list[FibDownload]:
+        """Turn aggregation on: snapshot and swap the kernel to the AT."""
+        if self.manager.enabled:
+            return []
+        self.manager.enabled = True
+        if self.manager.loading:
+            return []
+        snapshot_burst = self.manager.snapshot_now()
+        # The kernel currently holds the OT; move it to the new AT.
+        delta = diff_tables(self.kernel.table(), self.manager.fib_table())
+        self.kernel.apply_all(delta)
+        return delta if delta else snapshot_burst
+
+    def disable_smalta(self) -> list[FibDownload]:
+        """Turn aggregation off: swap the kernel back to the exact OT."""
+        if not self.manager.enabled:
+            return []
+        self.manager.enabled = False
+        if self.manager.loading:
+            return []
+        delta = diff_tables(self.kernel.table(), self.manager.state.ot_table())
+        self.kernel.apply_all(delta)
+        return delta

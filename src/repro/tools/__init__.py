@@ -1,0 +1,1 @@
+"""Command-line utilities: the evaluation report runner."""

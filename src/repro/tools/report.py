@@ -1,0 +1,118 @@
+"""Regenerate the paper's evaluation as one report.
+
+Usage::
+
+    python -m repro.tools.report                      # everything
+    python -m repro.tools.report table2 fig8          # a subset
+    python -m repro.tools.report --list               # what exists
+    python -m repro.tools.report -o report.md         # write to a file
+
+Runs each selected experiment module and concatenates the paper-style
+text blocks (the same ones the benchmarks print). Honours REPRO_SCALE.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    fig6_igp_nexthops,
+    fig7_effective_nexthops,
+    fig8_update_drift,
+    fig9_routeviews_drift,
+    fig10_fib_downloads,
+    igp_remap,
+    outofband_snapshot,
+    table1_access_routers,
+    table2_igr,
+    timing,
+    whiteholing_loops,
+)
+from repro.workloads.scale import scale_factor
+
+#: name → (module with run()/format_result(), description)
+EXPERIMENTS: dict[str, tuple[object, str]] = {
+    "fig6": (fig6_igp_nexthops, "AT size vs IGP nexthops (RouteViews)"),
+    "table1": (table1_access_routers, "five access routers, SMALTA vs L1/L2"),
+    "fig7": (fig7_effective_nexthops, "aggregation vs effective nexthops"),
+    "table2": (table2_igr, "IGR-1 before/after 12h of updates"),
+    "fig8": (fig8_update_drift, "AT drift on the IGR trace"),
+    "fig9": (fig9_routeviews_drift, "AT drift on the RouteViews trace"),
+    "fig10": (fig10_fib_downloads, "FIB downloads vs snapshot spacing"),
+    "timing": (timing, "update and snapshot timing"),
+    "loops": (whiteholing_loops, "whiteholing loop census (extension)"),
+    "igp-remap": (igp_remap, "BGP->IGP remapping bursts (extension)"),
+    "oob": (outofband_snapshot, "out-of-band snapshot updates (extension)"),
+}
+
+
+def run_report(
+    names: list[str], emit: Callable[[str], None] = print
+) -> dict[str, float]:
+    """Run the named experiments, emitting their reports; returns
+    per-experiment wall-clock seconds."""
+    durations: dict[str, float] = {}
+    emit(
+        f"# SMALTA evaluation report (REPRO_SCALE={scale_factor():g})\n"
+    )
+    for name in names:
+        module, description = EXPERIMENTS[name]
+        emit(f"\n## {name} — {description}\n")
+        started = time.perf_counter()
+        result = module.run()
+        durations[name] = time.perf_counter() - started
+        emit("```")
+        emit(module.format_result(result))
+        emit("```")
+        emit(f"({durations[name]:.1f}s)")
+    total = sum(durations.values())
+    emit(f"\n---\ntotal: {total:.1f}s across {len(durations)} experiments")
+    return durations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the SMALTA paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="NAME",
+        help="experiment names (default: all); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "-o", "--output", metavar="FILE", help="write the report to FILE"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:10s} {description}")
+        return 0
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} (try --list)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            run_report(names, emit=lambda line: print(line, file=handle))
+        print(f"report written to {args.output}")
+    else:
+        run_report(names)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

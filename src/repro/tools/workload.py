@@ -1,0 +1,127 @@
+"""Workload CLI: generate, inspect, and aggregate table/trace files.
+
+Usage::
+
+    python -m repro.tools.workload gen-table out.table --prefixes 40000 \
+        --nexthops 8 --effective 2.0 --seed 7
+    python -m repro.tools.workload gen-trace in.table out.trace \
+        --updates 20000 --seed 7
+    python -m repro.tools.workload stats in.table
+    python -m repro.tools.workload aggregate in.table out.table \
+        --scheme smalta        # or level1 / level2
+
+Files use the line format of :mod:`repro.workloads.trace_io`, so anything
+generated here can be fed back into the library (and vice versa).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from collections import Counter
+
+from repro.analysis.metrics import fib_metrics, table_effective_nexthops
+from repro.baselines import level1, level2
+from repro.core.ortc import ortc
+from repro.net.nexthop import NexthopRegistry
+from repro.workloads.synthetic_table import generate_table
+from repro.workloads.synthetic_updates import generate_update_trace
+from repro.workloads.trace_io import load_table, save_table, save_trace
+
+SCHEMES = {"smalta": ortc, "level1": level1, "level2": level2}
+
+
+def cmd_gen_table(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    registry = NexthopRegistry()
+    nexthops = registry.create_many(args.nexthops)
+    table = generate_table(
+        args.prefixes, nexthops, rng, target_effective=args.effective
+    )
+    save_table(table, args.output)
+    print(f"wrote {len(table):,} prefixes over {args.nexthops} nexthops "
+          f"to {args.output}")
+    return 0
+
+
+def cmd_gen_trace(args: argparse.Namespace) -> int:
+    table, registry = load_table(args.table)
+    rng = random.Random(args.seed)
+    trace = generate_update_trace(
+        table, args.updates, list(registry), rng, duration_s=args.hours * 3600.0
+    )
+    save_trace(trace, args.output)
+    summary = trace.summary()
+    print(
+        f"wrote {summary['updates']:,} updates "
+        f"({summary['announces']:,} announces, "
+        f"{summary['withdraws']:,} withdraws) to {args.output}"
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    table, _ = load_table(args.table)
+    lengths = Counter(prefix.length for prefix in table)
+    metrics = fib_metrics(table)
+    print(f"{args.table}: {len(table):,} prefixes")
+    print(f"  nexthops: {len(set(table.values()))} "
+          f"(effective {table_effective_nexthops(table):.3f})")
+    print(f"  TBM memory: {metrics.memory_bytes:,} bytes; "
+          f"T = {metrics.avg_accesses:.3f} accesses/lookup")
+    print("  length mix:")
+    for length in sorted(lengths):
+        share = 100.0 * lengths[length] / len(table)
+        print(f"    /{length:<3} {lengths[length]:>8,}  ({share:.1f}%)")
+    return 0
+
+
+def cmd_aggregate(args: argparse.Namespace) -> int:
+    table, _ = load_table(args.table)
+    scheme = SCHEMES[args.scheme]
+    aggregated = scheme(table.items(), 32)
+    save_table(aggregated, args.output)
+    print(
+        f"{args.scheme}: {len(table):,} -> {len(aggregated):,} entries "
+        f"({100.0 * len(aggregated) / max(1, len(table)):.1f}%), "
+        f"wrote {args.output}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen_table = commands.add_parser("gen-table", help="generate a table file")
+    gen_table.add_argument("output")
+    gen_table.add_argument("--prefixes", type=int, default=40_000)
+    gen_table.add_argument("--nexthops", type=int, default=8)
+    gen_table.add_argument("--effective", type=float, default=None)
+    gen_table.add_argument("--seed", type=int, default=20111206)
+    gen_table.set_defaults(handler=cmd_gen_table)
+
+    gen_trace = commands.add_parser("gen-trace", help="generate a trace file")
+    gen_trace.add_argument("table")
+    gen_trace.add_argument("output")
+    gen_trace.add_argument("--updates", type=int, default=20_000)
+    gen_trace.add_argument("--hours", type=float, default=12.0)
+    gen_trace.add_argument("--seed", type=int, default=20111206)
+    gen_trace.set_defaults(handler=cmd_gen_trace)
+
+    stats = commands.add_parser("stats", help="describe a table file")
+    stats.add_argument("table")
+    stats.set_defaults(handler=cmd_stats)
+
+    aggregate = commands.add_parser("aggregate", help="aggregate a table file")
+    aggregate.add_argument("table")
+    aggregate.add_argument("output")
+    aggregate.add_argument("--scheme", choices=sorted(SCHEMES), default="smalta")
+    aggregate.set_defaults(handler=cmd_aggregate)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

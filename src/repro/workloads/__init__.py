@@ -1,0 +1,62 @@
+"""Synthetic workloads calibrated to the paper's published statistics.
+
+The paper's data sets (Tier-1 provider iBGP traces and FIB snapshots;
+RouteViews RIBs and update days, 2001–2010) are proprietary or require
+network access, so this package synthesizes equivalents that preserve the
+properties the experiments exercise: table size, prefix-length mix,
+prefix→nexthop skew (the *effective nexthop count* E(R) of Section 4.3),
+spatial nexthop locality, and flap-heavy update churn.
+"""
+
+from repro.workloads.distributions import (
+    assign_skewed_nexthops,
+    effective_nexthops,
+    entropy_bits,
+    zipf_weights,
+)
+from repro.workloads.provider import (
+    AR_PROFILES,
+    IGR_PROFILE,
+    AccessRouterProfile,
+    build_access_router_table,
+    build_igr_scenario,
+)
+from repro.workloads.routeviews import (
+    ROUTEVIEWS_TABLE_SIZES,
+    RouteViewsScenario,
+    build_routeviews_scenario,
+)
+from repro.workloads.scale import scale_factor, scaled
+from repro.workloads.synthetic_table import TableProfile, generate_table
+from repro.workloads.synthetic_updates import UpdateMix, generate_update_trace
+from repro.workloads.trace_io import (
+    load_table,
+    load_trace,
+    save_table,
+    save_trace,
+)
+
+__all__ = [
+    "AR_PROFILES",
+    "AccessRouterProfile",
+    "IGR_PROFILE",
+    "ROUTEVIEWS_TABLE_SIZES",
+    "RouteViewsScenario",
+    "TableProfile",
+    "UpdateMix",
+    "assign_skewed_nexthops",
+    "build_access_router_table",
+    "build_igr_scenario",
+    "build_routeviews_scenario",
+    "effective_nexthops",
+    "entropy_bits",
+    "generate_table",
+    "generate_update_trace",
+    "load_table",
+    "load_trace",
+    "save_table",
+    "save_trace",
+    "scale_factor",
+    "scaled",
+    "zipf_weights",
+]

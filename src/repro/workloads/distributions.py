@@ -1,0 +1,107 @@
+"""Entropy machinery: effective nexthop counts and skewed assignments.
+
+Section 4.3 explains AR-1's outsized aggregation with the *effective
+number of nexthops*::
+
+    log2 E(R) = Σ −p_i · log2 p_i,   p_i = n_i / Σ n_j
+
+where n_i is the number of prefixes assigned to the i-th nexthop. This
+module computes E(R) and, inversely, constructs prefix-per-nexthop count
+vectors achieving a target E(R) — which is how the synthetic AR tables
+match the paper's Table 1 row for each router.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def entropy_bits(counts: Sequence[float]) -> float:
+    """Shannon entropy (bits) of a count vector (zeros are ignored)."""
+    total = float(sum(counts))
+    if total <= 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts:
+        if count > 0:
+            p = count / total
+            entropy -= p * math.log2(p)
+    return entropy
+
+
+def effective_nexthops(counts: Sequence[float]) -> float:
+    """E(R) = 2**entropy — the paper's effective number of nexthops."""
+    return 2.0 ** entropy_bits(counts)
+
+
+def zipf_weights(count: int, exponent: float) -> list[float]:
+    """Normalized Zipf weights w_i ∝ (i+1)**-exponent."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    raw = [(i + 1) ** -exponent for i in range(count)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def _effective_of_exponent(count: int, exponent: float) -> float:
+    return effective_nexthops(zipf_weights(count, exponent))
+
+
+def zipf_exponent_for_effective(count: int, target: float) -> float:
+    """The Zipf exponent whose weight vector has E(R) ≈ target.
+
+    E is monotonically decreasing in the exponent: 0 → E = count (uniform),
+    ∞ → E = 1. Binary search suffices.
+    """
+    if not 1.0 <= target <= count + 1e-9:
+        raise ValueError(f"target E(R) {target} outside [1, {count}]")
+    lo, hi = 0.0, 1.0
+    while _effective_of_exponent(count, hi) > target and hi < 64:
+        hi *= 2
+    for _ in range(80):
+        mid = (lo + hi) / 2
+        if _effective_of_exponent(count, mid) > target:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def counts_for_effective(
+    total: int, nexthop_count: int, target_effective: float
+) -> list[int]:
+    """An integer count vector summing to ``total`` with E(R) ≈ target.
+
+    Every nexthop receives at least one prefix when possible (Table 1's
+    routers have many nexthops that each serve "only a couple of
+    prefixes").
+    """
+    if nexthop_count < 1:
+        raise ValueError("need at least one nexthop")
+    if total < nexthop_count:
+        # Not enough prefixes to populate every nexthop; spread what we have.
+        return [1] * total + [0] * (nexthop_count - total)
+    exponent = zipf_exponent_for_effective(nexthop_count, target_effective)
+    weights = zipf_weights(nexthop_count, exponent)
+    counts = [max(1, int(w * total)) for w in weights]
+    # Fix the rounding drift on the largest bucket.
+    counts[0] += total - sum(counts)
+    if counts[0] < 1:
+        raise ValueError("target effective nexthops infeasible for this total")
+    return counts
+
+
+def assign_skewed_nexthops(
+    prefix_count: int,
+    nexthops: Sequence,
+    target_effective: float,
+    rng,
+) -> list:
+    """A nexthop per prefix index, shuffled, with E(R) ≈ target overall."""
+    counts = counts_for_effective(prefix_count, len(nexthops), target_effective)
+    assignment = [
+        nexthop for nexthop, count in zip(nexthops, counts) for _ in range(count)
+    ]
+    rng.shuffle(assignment)
+    return assignment

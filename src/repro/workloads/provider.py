@@ -1,0 +1,94 @@
+"""Tier-1 provider analogues: the AR and IGR scenarios of Tables 1 and 2.
+
+**Substitution note (see DESIGN.md):** the paper's provider FIB snapshots
+and iBGP traces are proprietary. These builders synthesize tables whose
+published statistics match Table 1 / Table 2 — table size, number of IGP
+nexthops #NH, and effective nexthop count E(·) — scaled by REPRO_SCALE.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.nexthop import Nexthop, NexthopRegistry
+from repro.net.prefix import Prefix
+from repro.net.update import UpdateTrace
+from repro.workloads.scale import scaled
+from repro.workloads.synthetic_table import TableProfile, generate_table
+from repro.workloads.synthetic_updates import generate_update_trace
+
+
+@dataclass(frozen=True)
+class AccessRouterProfile:
+    """One Table 1 access router."""
+
+    name: str
+    nexthop_count: int  # #NH
+    effective_nexthops: float  # E(·)
+    table_size: int  # #(OT), paper scale
+
+
+#: The five ARs of Table 1.
+AR_PROFILES: tuple[AccessRouterProfile, ...] = (
+    AccessRouterProfile("AR-1", 89, 1.061, 427_205),
+    AccessRouterProfile("AR-2", 419, 1.766, 426_175),
+    AccessRouterProfile("AR-3", 25, 1.845, 426_736),
+    AccessRouterProfile("AR-4", 9, 2.01, 427_520),
+    AccessRouterProfile("AR-5", 652, 3.164, 428_766),
+)
+
+
+@dataclass(frozen=True)
+class IgrProfile:
+    """The Table 2 / Figures 8 & 10 internet gateway router."""
+
+    name: str = "IGR-1"
+    nexthop_count: int = 8
+    table_size: int = 418_033
+    update_count: int = 183_719
+    trace_hours: float = 12.0
+
+
+IGR_PROFILE = IgrProfile()
+
+
+def build_access_router_table(
+    profile: AccessRouterProfile,
+    rng: random.Random,
+    registry: NexthopRegistry | None = None,
+) -> tuple[dict[Prefix, Nexthop], list[Nexthop]]:
+    """A synthetic FIB snapshot for one AR (scaled), plus its nexthops."""
+    registry = registry if registry is not None else NexthopRegistry()
+    nexthops = registry.create_many(profile.nexthop_count, prefix=f"{profile.name}-nh")
+    size = scaled(profile.table_size, minimum=50)
+    table = generate_table(
+        size,
+        nexthops,
+        rng,
+        target_effective=profile.effective_nexthops,
+        profile=TableProfile(),
+    )
+    return table, nexthops
+
+
+def build_igr_scenario(
+    rng: random.Random,
+    profile: IgrProfile = IGR_PROFILE,
+    registry: NexthopRegistry | None = None,
+) -> tuple[dict[Prefix, Nexthop], UpdateTrace, list[Nexthop]]:
+    """The IGR-1 snapshot plus its 12-hour update trace (scaled)."""
+    registry = registry if registry is not None else NexthopRegistry()
+    nexthops = registry.create_many(profile.nexthop_count, prefix="igr-nh")
+    size = scaled(profile.table_size, minimum=100)
+    updates = scaled(profile.update_count, minimum=100)
+    table = generate_table(size, nexthops, rng, target_effective=None)
+    trace = generate_update_trace(
+        table,
+        updates,
+        nexthops,
+        rng,
+        duration_s=profile.trace_hours * 3600.0,
+        name=f"{profile.name}-trace",
+    )
+    return table, trace, nexthops

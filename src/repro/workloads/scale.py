@@ -1,0 +1,33 @@
+"""The REPRO_SCALE knob.
+
+Paper-sized tables (~420k prefixes) are slow in pure Python (the repro
+band warned about this), so every workload size is multiplied by
+``REPRO_SCALE`` (default 0.1 → ~42k-prefix provider tables). Set
+``REPRO_SCALE=1`` to approximate the paper's absolute sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+DEFAULT_SCALE = 0.1
+_ENV_VAR = "REPRO_SCALE"
+
+
+def scale_factor() -> float:
+    """The active scale factor (from the environment, else 0.1)."""
+    raw = os.environ.get(_ENV_VAR)
+    if raw is None:
+        return DEFAULT_SCALE
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{_ENV_VAR}={raw!r} is not a number") from exc
+    if value <= 0:
+        raise ValueError(f"{_ENV_VAR} must be positive, got {value}")
+    return value
+
+
+def scaled(size: int, minimum: int = 1) -> int:
+    """``size`` multiplied by the scale factor, floored at ``minimum``."""
+    return max(minimum, round(size * scale_factor()))

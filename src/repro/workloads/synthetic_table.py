@@ -1,0 +1,296 @@
+"""Synthetic routing-table generator calibrated to 2011 DFZ statistics.
+
+Real BGP tables have three properties FIB aggregation depends on:
+
+1. a prefix-length mix dominated by /24s (~53% in 2011), with secondary
+   mass at /19–/23 and /16;
+2. *spatial structure*: announcements come in runs of consecutive
+   prefixes from the same allocation block, often under a covering
+   less-specific (traffic-engineering more-specifics);
+3. *nexthop locality*: prefixes from one origin tend to resolve to the
+   same IGP nexthop, with an overall skewed prefix-per-nexthop
+   distribution (the paper's E(R)).
+
+The generator produces clusters of consecutive prefixes (geometric run
+lengths), optionally nested under covering prefixes, then assigns
+nexthops in address-order runs drawn from a count vector matching a
+target effective-nexthop value.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.workloads.distributions import counts_for_effective
+
+#: Approximate 2011 default-free-zone prefix-length shares.
+DFZ_LENGTH_SHARES: dict[int, float] = {
+    8: 0.0005,
+    9: 0.0002,
+    10: 0.0004,
+    11: 0.001,
+    12: 0.0025,
+    13: 0.0035,
+    14: 0.0055,
+    15: 0.008,
+    16: 0.060,
+    17: 0.020,
+    18: 0.035,
+    19: 0.060,
+    20: 0.065,
+    21: 0.055,
+    22: 0.085,
+    23: 0.070,
+    24: 0.528,
+}
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Tunables of the synthetic table generator."""
+
+    width: int = 32
+    #: Mean length of a run of consecutive same-length prefixes.
+    mean_run: float = 8.0
+    #: Probability a cluster of specifics also announces a covering prefix.
+    nesting_probability: float = 0.5
+    #: Mean length of an address-order run sharing one nexthop.
+    mean_nexthop_run: float = 40.0
+    #: Probability a slot inside a run is interrupted by a stray nexthop —
+    #: the A‑B‑A pattern of Figure 2 that ORTC aggregates across but the
+    #: sibling-merging L2 cannot.
+    nexthop_noise: float = 0.25
+    #: Probability a covering prefix routes independently of the specifics
+    #: beneath it (traffic-engineering deaggregation) — this is what
+    #: separates ORTC-style aggregation from plain sibling merging.
+    cover_shuffle: float = 0.3
+    #: Fraction of the first-octet space that is "allocated" (announcements
+    #: cluster inside allocated ranges; the rest stays unrouted, like the
+    #: unallocated /8 blocks of the real IPv4 space). None (the default)
+    #: scales the fraction with the table size so that *coverage density
+    #: inside allocated space* matches a real ~420k-prefix table — without
+    #: this, REPRO_SCALE-reduced tables would be unrealistically sparse
+    #: and aggregation could never produce short covering prefixes.
+    allocated_fraction: Optional[float] = None
+    #: Number of contiguous allocated first-octet runs.
+    allocated_runs: int = 10
+    #: Prefix-length → share; defaults to the DFZ mix (clipped to width).
+    length_shares: dict[int, float] = field(
+        default_factory=lambda: dict(DFZ_LENGTH_SHARES)
+    )
+
+    def clipped_lengths(self) -> tuple[list[int], list[float]]:
+        lengths: dict[int, float] = {}
+        for length, share in self.length_shares.items():
+            clipped = min(length, self.width)
+            if clipped >= 1:
+                lengths[clipped] = lengths.get(clipped, 0.0) + share
+        items = sorted(lengths.items())
+        return [l for l, _ in items], [s for _, s in items]
+
+
+def _geometric(rng: random.Random, mean: float) -> int:
+    """A geometric draw with the given mean, at least 1."""
+    if mean <= 1.0:
+        return 1
+    p = 1.0 / mean
+    count = 1
+    while rng.random() > p:
+        count += 1
+    return count
+
+
+def _space_fraction(profile: TableProfile, prefix_count: int) -> float:
+    """The allocated fraction of the first-octet space for this table."""
+    if profile.allocated_fraction is not None:
+        return profile.allocated_fraction
+    # ~420k prefixes covered ~60% of the first-octet space in 2011;
+    # scale linearly so per-/8 announcement density stays realistic.
+    return min(0.87, max(0.02, 0.6 * prefix_count / 420_000))
+
+
+def _short_length_shift(profile: TableProfile, prefix_count: int) -> int:
+    """How far to lengthen sub-/16 prefixes on scaled-down tables.
+
+    When the allocated space shrinks by 2**k, a paper-scale /8 should
+    become a /(8+k) so that the *fraction of covered space* under short
+    prefixes — which dominates the covered-traffic lookup cost T(·) —
+    stays realistic. Zero at full scale or when the caller pinned the
+    allocated fraction explicitly.
+    """
+    if profile.allocated_fraction is not None or profile.width != 32:
+        return 0
+    fraction = _space_fraction(profile, prefix_count)
+    return max(0, round(math.log2(0.6 / fraction)))
+
+
+def _allocated_octets(
+    rng: random.Random, profile: TableProfile, prefix_count: int
+) -> list[int]:
+    """Contiguous runs of "allocated" first octets within 1..223."""
+    fraction = _space_fraction(profile, prefix_count)
+    total = max(1, int(223 * fraction))
+    runs = max(1, min(profile.allocated_runs, total))
+    base_len, extra = divmod(total, runs)
+    octets: set[int] = set()
+    attempts = 0
+    while len(octets) < total and attempts < 1000:
+        attempts += 1
+        run_len = base_len + (1 if extra > 0 else 0)
+        start = rng.randrange(1, max(2, 224 - run_len))
+        octets.update(range(start, min(start + run_len, 224)))
+        if extra > 0:
+            extra -= 1
+    return sorted(octets)
+
+
+def _random_aligned_value(
+    rng: random.Random, length: int, width: int, octets: Optional[list[int]] = None
+) -> int:
+    """A random prefix value; for IPv4 widths, confined to allocated space."""
+    if length == 0:
+        return 0
+    top = rng.getrandbits(length)
+    if width == 32:
+        if length >= 8:
+            first = rng.choice(octets) if octets else rng.randrange(1, 224)
+            top = (first << (length - 8)) | (
+                rng.getrandbits(length - 8) if length > 8 else 0
+            )
+        else:
+            # Short prefixes: keep out of 0/8 at least.
+            if top == 0:
+                top = 1
+    return top << (width - length)
+
+
+def generate_table(
+    prefix_count: int,
+    nexthops: Sequence[Nexthop],
+    rng: random.Random,
+    target_effective: Optional[float] = None,
+    profile: Optional[TableProfile] = None,
+) -> dict[Prefix, Nexthop]:
+    """A synthetic table with ``prefix_count`` entries over ``nexthops``.
+
+    ``target_effective`` sets the desired E(R); None means uniform
+    (E ≈ number of nexthops).
+    """
+    if prefix_count < 0:
+        raise ValueError("prefix_count must be >= 0")
+    if not nexthops:
+        raise ValueError("need at least one nexthop")
+    profile = profile or TableProfile()
+    prefixes, covers = _generate_structure(prefix_count, rng, profile)
+    if target_effective is None:
+        target_effective = float(len(nexthops))
+    assignment = _assign_in_runs(
+        len(prefixes),
+        list(nexthops),
+        target_effective,
+        profile.mean_nexthop_run,
+        rng,
+        noise=profile.nexthop_noise,
+    )
+    ordered = sorted(prefixes)  # address order → nexthop runs are spatial
+    table = dict(zip(ordered, assignment))
+    # Covering prefixes frequently route independently of their specifics.
+    if assignment:
+        tallies = Counter(assignment)
+        pool = list(nexthops)
+        weights = [tallies.get(nh, 0) + 1 for nh in pool]
+        for cover in covers:
+            if cover in table and rng.random() < profile.cover_shuffle:
+                table[cover] = rng.choices(pool, weights=weights)[0]
+    return table
+
+
+def _generate_structure(
+    prefix_count: int, rng: random.Random, profile: TableProfile
+) -> tuple[set[Prefix], set[Prefix]]:
+    lengths, shares = profile.clipped_lengths()
+    width = profile.width
+    shift = _short_length_shift(profile, prefix_count)
+    if shift:
+        remapped: dict[int, float] = {}
+        for length, share in zip(lengths, shares):
+            key = min(15, length + shift) if length < 16 else length
+            remapped[key] = remapped.get(key, 0.0) + share
+        items = sorted(remapped.items())
+        lengths = [l for l, _ in items]
+        shares = [s for _, s in items]
+    prefixes: set[Prefix] = set()
+    covers: set[Prefix] = set()
+    octets = _allocated_octets(rng, profile, prefix_count) if width == 32 else None
+    while len(prefixes) < prefix_count:
+        length = rng.choices(lengths, weights=shares)[0]
+        run = _geometric(rng, profile.mean_run if length >= 18 else 1.5)
+        base = _random_aligned_value(rng, length, width, octets)
+        step = 1 << (width - length)
+        for i in range(run):
+            if len(prefixes) >= prefix_count:
+                break
+            value = base + i * step
+            if value >= (1 << width):
+                break
+            prefixes.add(Prefix(value - (value % step), length, width))
+        # Sometimes the specifics sit under an announced covering prefix.
+        if (
+            length >= 4
+            and len(prefixes) < prefix_count
+            and rng.random() < profile.nesting_probability
+        ):
+            cover_length = max(1, length - rng.randint(2, min(6, length)))
+            cover_step = 1 << (width - cover_length)
+            cover = Prefix(base - (base % cover_step), cover_length, width)
+            prefixes.add(cover)
+            covers.add(cover)
+    return prefixes, covers
+
+
+def _assign_in_runs(
+    count: int,
+    nexthops: list[Nexthop],
+    target_effective: float,
+    mean_run: float,
+    rng: random.Random,
+    noise: float = 0.0,
+) -> list[Nexthop]:
+    """Deal nexthops to address-ordered slots in geometric runs, honouring
+    a per-nexthop quota that realizes the target E(R). ``noise`` injects
+    single-slot interruptions inside runs (Figure 2's A-B-A shape)."""
+    if count == 0:
+        return []
+    target = min(target_effective, float(len(nexthops)))
+    quotas = counts_for_effective(count, len(nexthops), target)
+    pool = [(nexthop, quota) for nexthop, quota in zip(nexthops, quotas) if quota > 0]
+    remaining = dict(pool)
+    order = [nexthop for nexthop, _ in pool]
+    result: list[Nexthop] = []
+    while len(result) < count:
+        live = [nh for nh in order if remaining[nh] > 0]
+        weights = [remaining[nh] for nh in live]
+        choice = rng.choices(live, weights=weights)[0]
+        run = min(_geometric(rng, mean_run), remaining[choice], count - len(result))
+        for _ in range(run):
+            slot = choice
+            if noise and len(live) > 1 and rng.random() < noise:
+                # Strays are drawn uniformly: with a skewed quota a
+                # weighted draw would almost always return the dominant
+                # nexthop again, producing no interruption at all.
+                stray = rng.choice(live)
+                if remaining[stray] > 0:
+                    slot = stray
+            if remaining[slot] <= 0:
+                slot = choice
+            result.append(slot)
+            remaining[slot] -= 1
+            if remaining[choice] <= 0:
+                break
+    return result

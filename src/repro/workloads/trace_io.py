@@ -1,0 +1,94 @@
+"""On-disk formats for tables and update traces.
+
+Line-oriented text, diff-friendly and trivially greppable::
+
+    # table lines
+    T 10.0.0.0/8 nh3
+    # trace lines
+    A 12.500 10.1.0.0/16 nh2      (announce: time, prefix, nexthop)
+    W 13.125 10.1.0.0/16          (withdraw: time, prefix)
+
+Nexthops are resolved through a :class:`~repro.net.nexthop.NexthopRegistry`,
+creating them on first sight so traces are self-contained.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.net.nexthop import Nexthop, NexthopRegistry
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate, UpdateKind, UpdateTrace
+
+PathLike = Union[str, Path]
+
+
+def save_table(table: dict[Prefix, Nexthop], path: PathLike) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for prefix, nexthop in sorted(table.items()):
+            handle.write(f"T {prefix} {nexthop}\n")
+
+
+def load_table(
+    path: PathLike, registry: NexthopRegistry | None = None
+) -> tuple[dict[Prefix, Nexthop], NexthopRegistry]:
+    registry = registry if registry is not None else NexthopRegistry()
+    table: dict[Prefix, Nexthop] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[0] != "T":
+                raise ValueError(f"{path}:{line_number}: bad table line {line!r}")
+            table[Prefix.from_string(parts[1])] = _resolve(registry, parts[2])
+    return table, registry
+
+
+def save_trace(trace: UpdateTrace, path: PathLike) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# trace {trace.name}\n")
+        for update in trace:
+            if update.kind is UpdateKind.ANNOUNCE:
+                handle.write(
+                    f"A {update.timestamp:.6f} {update.prefix} {update.nexthop}\n"
+                )
+            else:
+                handle.write(f"W {update.timestamp:.6f} {update.prefix}\n")
+
+
+def load_trace(
+    path: PathLike, registry: NexthopRegistry | None = None
+) -> tuple[UpdateTrace, NexthopRegistry]:
+    registry = registry if registry is not None else NexthopRegistry()
+    trace = UpdateTrace(name=Path(path).stem)
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if parts[0] == "A" and len(parts) == 4:
+                trace.append(
+                    RouteUpdate.announce(
+                        Prefix.from_string(parts[2]),
+                        _resolve(registry, parts[3]),
+                        float(parts[1]),
+                    )
+                )
+            elif parts[0] == "W" and len(parts) == 3:
+                trace.append(
+                    RouteUpdate.withdraw(Prefix.from_string(parts[2]), float(parts[1]))
+                )
+            else:
+                raise ValueError(f"{path}:{line_number}: bad trace line {line!r}")
+    return trace, registry
+
+
+def _resolve(registry: NexthopRegistry, name: str) -> Nexthop:
+    try:
+        return registry.by_name(name)
+    except KeyError:
+        return registry.create(name)

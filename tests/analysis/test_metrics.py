@@ -1,0 +1,76 @@
+"""Tests for the analysis metrics and reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    FibMetrics,
+    aggregation_percent,
+    fib_metrics,
+    table_effective_nexthops,
+)
+from repro.analysis.reporting import format_percent, format_series, format_table
+from repro.net.prefix import Prefix
+
+from tests.conftest import make_nexthops
+
+NH = make_nexthops(4)
+
+
+def bp(bits: str) -> Prefix:
+    return Prefix.from_bits(bits, width=8)
+
+
+class TestFibMetrics:
+    def test_triple_for_small_table(self):
+        table = {bp("10110"): NH[0], bp("01"): NH[1]}
+        metrics = fib_metrics(table, width=8, initial_stride=4, stride=4)
+        assert metrics.entries == 2
+        assert metrics.memory_bytes == 16 * 4 + 8  # initial array + 1 node
+        assert metrics.avg_accesses > 1.0
+        assert metrics.entry_accesses > 1.0
+
+    def test_percent_of(self):
+        small = FibMetrics(entries=50, memory_bytes=500, avg_accesses=1.5)
+        big = FibMetrics(entries=100, memory_bytes=1000, avg_accesses=2.0)
+        assert small.as_percent_of(big) == (50.0, 50.0, 75.0)
+
+    def test_percent_of_zero_base(self):
+        zero = FibMetrics(entries=0, memory_bytes=0, avg_accesses=0.0)
+        assert zero.as_percent_of(zero) == (0.0, 0.0, 0.0)
+
+    def test_aggregation_percent(self):
+        assert aggregation_percent(50, 200) == 25.0
+        assert aggregation_percent(5, 0) == 0.0
+
+    def test_effective_nexthops_of_table(self):
+        table = {bp("00"): NH[0], bp("01"): NH[0], bp("10"): NH[1], bp("11"): NH[1]}
+        assert table_effective_nexthops(table) == pytest.approx(2.0)
+
+
+class TestReporting:
+    def test_format_percent(self):
+        assert format_percent(12.345) == "12.3%"
+        assert format_percent(12.345, decimals=2) == "12.35%"
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "count"], [("a", 1), ("bbbb", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "count" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_format_table_title_and_numbers(self):
+        text = format_table(["x"], [(1234567,)], title="big")
+        assert text.startswith("big")
+        assert "1,234,567" in text
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_format_series(self):
+        text = format_series("drift", [(0, 37.5), (1000, 38.2)], unit="%")
+        assert "drift:" in text
+        assert "37.500 %" in text

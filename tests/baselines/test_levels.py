@@ -1,0 +1,160 @@
+"""Tests for the L1/L2 baselines and the L3/L4 whiteholing variants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.baselines import (
+    level1,
+    level2,
+    level3,
+    level4,
+    whiteholed_address_count,
+)
+from repro.core.equivalence import semantically_equivalent
+from repro.core.ortc import ortc
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+from tests.conftest import lookup_oracle, make_nexthops, tables
+
+NH = make_nexthops(4)
+A, B = NH[0], NH[1]
+
+
+def bp(bits: str, width: int = 6) -> Prefix:
+    return Prefix.from_bits(bits, width=width)
+
+
+class TestLevel1:
+    def test_drops_covered_specific(self):
+        table = {bp("1"): A, bp("11"): A}
+        assert level1(table.items(), 6) == {bp("1"): A}
+
+    def test_keeps_differently_routed_specific(self):
+        table = {bp("1"): A, bp("11"): B}
+        assert level1(table.items(), 6) == table
+
+    def test_nearest_cover_decides(self):
+        # 1->A, 11->B, 111->A: the /3 is covered by the /2 (B), not the /1,
+        # so it must stay.
+        table = {bp("1"): A, bp("11"): B, bp("111"): A}
+        assert level1(table.items(), 6) == table
+
+    def test_does_not_merge_siblings(self):
+        table = {bp("10"): A, bp("11"): A}
+        assert level1(table.items(), 6) == table
+
+    @settings(max_examples=200, deadline=None)
+    @given(table=tables(6, nexthop_count=3, max_size=20))
+    def test_preserves_semantics(self, table):
+        assert semantically_equivalent(table, level1(table.items(), 6), 6)
+
+
+class TestLevel2:
+    def test_merges_siblings(self):
+        table = {bp("10"): A, bp("11"): A}
+        assert level2(table.items(), 6) == {bp("1"): A}
+
+    def test_merge_cascades(self):
+        table = {bp("00"): A, bp("01"): A, bp("10"): A, bp("11"): A}
+        assert level2(table.items(), 6) == {Prefix.root(6): A}
+
+    def test_merge_then_strip(self):
+        # Siblings merge into 1->A, which the cover root->A then absorbs.
+        table = {Prefix.root(6): A, bp("10"): A, bp("11"): A}
+        assert level2(table.items(), 6) == {Prefix.root(6): A}
+
+    def test_blocked_by_conflicting_parent(self):
+        table = {bp("1"): B, bp("10"): A, bp("11"): A}
+        result = level2(table.items(), 6)
+        assert result == table  # cannot fold A-siblings into the B parent
+
+    @settings(max_examples=200, deadline=None)
+    @given(table=tables(6, nexthop_count=3, max_size=20))
+    def test_preserves_semantics(self, table):
+        assert semantically_equivalent(table, level2(table.items(), 6), 6)
+
+
+class TestSizeOrdering:
+    @settings(max_examples=200, deadline=None)
+    @given(table=tables(6, nexthop_count=4, max_size=24))
+    def test_paper_size_chain(self, table):
+        """#(ORTC) <= #(L2) <= #(L1) <= #(OT) — the Table 1/2 ordering."""
+        n_ortc = len(ortc(table.items(), 6))
+        n_l2 = len(level2(table.items(), 6))
+        n_l1 = len(level1(table.items(), 6))
+        assert n_ortc <= n_l2 <= n_l1 <= len(table)
+
+    @settings(max_examples=150, deadline=None)
+    @given(table=tables(6, nexthop_count=3, max_size=20))
+    def test_level4_at_most_ortc(self, table):
+        """Whiteholing can only help: #(L4) <= #(ORTC-optimal)."""
+        assert len(level4(table.items(), 6)) <= len(ortc(table.items(), 6))
+
+    @settings(max_examples=150, deadline=None)
+    @given(table=tables(6, nexthop_count=3, max_size=20))
+    def test_level3_at_most_level2(self, table):
+        assert len(level3(table.items(), 6)) <= len(level2(table.items(), 6))
+
+
+class TestWhiteholing:
+    def routed_space_preserved(self, table, aggregated, width):
+        for address in range(1 << width):
+            original = lookup_oracle(table, address, width)
+            if original != DROP:
+                assert lookup_oracle(aggregated, address, width) == original
+
+    def test_level3_absorbs_hole(self):
+        table = {bp("10"): A}
+        result = level3(table.items(), 6)
+        # Absorption cascades through unrouted siblings all the way up.
+        assert result == {Prefix.root(6): A}
+
+    def test_level3_respects_ancestor_cover(self):
+        # 0->B covers 01; 00->A must NOT absorb its routed sibling.
+        table = {bp("0"): B, bp("00"): A}
+        result = level3(table.items(), 6)
+        self.routed_space_preserved(table, result, 6)
+
+    @settings(max_examples=150, deadline=None)
+    @given(table=tables(6, nexthop_count=3, max_size=16))
+    def test_level3_preserves_routed_space(self, table):
+        self.routed_space_preserved(table, level3(table.items(), 6), 6)
+
+    @settings(max_examples=150, deadline=None)
+    @given(table=tables(6, nexthop_count=3, max_size=16))
+    def test_level4_preserves_routed_space(self, table):
+        self.routed_space_preserved(table, level4(table.items(), 6), 6)
+
+    def test_whiteholed_count_zero_for_exact_schemes(self):
+        table = {bp("10"): A, bp("11"): A, bp("0"): B}
+        for scheme in (level1, level2):
+            assert whiteholed_address_count(
+                table, scheme(table.items(), 6), 6
+            ) == 0
+        assert whiteholed_address_count(table, ortc(table.items(), 6), 6) == 0
+
+    def test_whiteholed_count_measures_absorbed_hole(self):
+        table = {bp("10"): A}
+        result = level3(table.items(), 6)
+        # Everything except the 16 addresses under 10/2 was whiteholed.
+        assert whiteholed_address_count(table, result, 6) == 48
+
+    def test_whiteholed_count_single_absorption(self):
+        # 0->B blocks upward cascade: only the 11/2 hole is absorbed.
+        table = {bp("10"): A, bp("0"): B}
+        result = level3(table.items(), 6)
+        assert whiteholed_address_count(table, result, 6) == 16
+
+    @settings(max_examples=100, deadline=None)
+    @given(table=tables(5, nexthop_count=3, max_size=12))
+    def test_whiteholed_count_matches_bruteforce(self, table):
+        aggregated = level4(table.items(), 5)
+        expected = sum(
+            1
+            for address in range(32)
+            if lookup_oracle(table, address, 5) == DROP
+            and lookup_oracle(aggregated, address, 5) != DROP
+        )
+        assert whiteholed_address_count(table, aggregated, 5) == expected

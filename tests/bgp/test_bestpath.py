@@ -1,0 +1,80 @@
+"""Tests for path attributes and the best-path decision process."""
+
+from __future__ import annotations
+
+from repro.bgp.attributes import Origin, PathAttributes
+from repro.bgp.bestpath import best_route, compare_routes, preference_key
+from repro.bgp.rib import Route
+from repro.net.prefix import Prefix
+
+from tests.conftest import make_nexthops
+
+PEERS = make_nexthops(4)
+P = Prefix.from_string("10.0.0.0/8")
+
+
+def route(peer, **kwargs) -> Route:
+    return Route(P, peer, PathAttributes(**kwargs))
+
+
+class TestDecisionProcess:
+    def test_local_pref_wins(self):
+        a = route(PEERS[0], local_pref=200, as_path=(1, 2, 3))
+        b = route(PEERS[1], local_pref=100, as_path=(1,))
+        assert best_route([a, b]) is a
+
+    def test_as_path_length_second(self):
+        a = route(PEERS[0], as_path=(1, 2))
+        b = route(PEERS[1], as_path=(1,))
+        assert best_route([a, b]) is b
+
+    def test_origin_third(self):
+        a = route(PEERS[0], as_path=(1,), origin=Origin.INCOMPLETE)
+        b = route(PEERS[1], as_path=(2,), origin=Origin.IGP)
+        assert best_route([a, b]) is b
+
+    def test_med_fourth(self):
+        a = route(PEERS[0], med=20)
+        b = route(PEERS[1], med=10)
+        assert best_route([a, b]) is b
+
+    def test_peer_key_tiebreak(self):
+        a = route(PEERS[2])
+        b = route(PEERS[1])
+        assert best_route([a, b]) is b
+
+    def test_empty(self):
+        assert best_route([]) is None
+
+    def test_compare_antisymmetric(self):
+        a = route(PEERS[0], local_pref=200)
+        b = route(PEERS[1])
+        assert compare_routes(a, b) == -1
+        assert compare_routes(b, a) == 1
+
+    def test_preference_key_ordering_is_total(self):
+        routes = [
+            route(PEERS[0], local_pref=50),
+            route(PEERS[1], as_path=(1, 2, 3)),
+            route(PEERS[2], med=99),
+            route(PEERS[3]),
+        ]
+        keys = [preference_key(r) for r in routes]
+        assert len(set(keys)) == len(keys)
+
+
+class TestAttributes:
+    def test_prepend(self):
+        attributes = PathAttributes(as_path=(65001,))
+        padded = attributes.prepended(65000, times=3)
+        assert padded.as_path == (65000, 65000, 65000, 65001)
+        assert padded.as_path_length == 4
+
+    def test_frozen(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            PathAttributes().med = 5
+
+    def test_origin_ordering(self):
+        assert Origin.IGP < Origin.EGP < Origin.INCOMPLETE

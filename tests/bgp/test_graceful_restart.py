@@ -1,0 +1,110 @@
+"""Tests for RFC 4724 Graceful Restart over the Loc-RIB."""
+
+from __future__ import annotations
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.graceful_restart import GracefulRestartManager
+from repro.bgp.rib import Route
+from repro.net.prefix import Prefix
+from repro.net.update import UpdateKind
+
+from tests.conftest import make_nexthops
+
+PEERS = make_nexthops(3)
+P1 = Prefix.from_string("10.0.0.0/8")
+P2 = Prefix.from_string("192.168.0.0/16")
+
+
+def loaded_manager() -> GracefulRestartManager:
+    manager = GracefulRestartManager(restart_time_s=120.0)
+    manager.announce(Route(P1, PEERS[0]))
+    manager.announce(Route(P2, PEERS[0]))
+    manager.announce(Route(P2, PEERS[1], PathAttributes(as_path=(1, 2))))
+    return manager
+
+
+class TestGracefulPath:
+    def test_graceful_down_emits_nothing(self):
+        manager = loaded_manager()
+        updates = manager.peer_down_graceful(PEERS[0], now=0.0)
+        assert updates == []  # forwarding preserved: the point of GR
+        assert manager.is_restarting(PEERS[0])
+        assert manager.stale_count(PEERS[0]) == 2
+        # The Loc-RIB still selects the stale routes.
+        assert manager.loc_rib.table()[P1] == PEERS[0]
+
+    def test_reannouncement_refreshes(self):
+        manager = loaded_manager()
+        manager.peer_down_graceful(PEERS[0], now=0.0)
+        manager.peer_restarted(PEERS[0])
+        assert manager.announce(Route(P1, PEERS[0]), now=5.0) == []
+        assert manager.stale_count(PEERS[0]) == 1  # only P2 still stale
+
+    def test_end_of_rib_flushes_unrefreshed(self):
+        manager = loaded_manager()
+        manager.peer_down_graceful(PEERS[0], now=0.0)
+        manager.peer_restarted(PEERS[0])
+        manager.announce(Route(P1, PEERS[0]), now=5.0)
+        updates = manager.end_of_rib(PEERS[0], now=6.0)
+        # P2 was not refreshed: it fails over to the backup peer.
+        assert len(updates) == 1
+        assert updates[0].kind is UpdateKind.ANNOUNCE
+        assert updates[0].nexthop == PEERS[1]
+        assert manager.stale_count(PEERS[0]) == 0
+        assert manager.loc_rib.table()[P1] == PEERS[0]
+
+    def test_timer_expiry_flushes(self):
+        manager = loaded_manager()
+        manager.peer_down_graceful(PEERS[0], now=0.0)
+        assert manager.tick(now=119.9) == []
+        updates = manager.tick(now=120.0)
+        kinds = sorted(u.kind.value for u in updates)
+        # P1 withdrawn outright; P2 fails over to the backup.
+        assert kinds == ["announce", "withdraw"]
+        assert not manager.is_restarting(PEERS[0])
+        assert P1 not in manager.loc_rib.table()
+
+    def test_tick_idempotent_after_flush(self):
+        manager = loaded_manager()
+        manager.peer_down_graceful(PEERS[0], now=0.0)
+        manager.tick(now=200.0)
+        assert manager.tick(now=300.0) == []
+
+
+class TestHardPath:
+    def test_hard_down_withdraws_immediately(self):
+        manager = loaded_manager()
+        updates = manager.peer_down_hard(PEERS[0], now=0.0)
+        kinds = sorted(u.kind.value for u in updates)
+        assert kinds == ["announce", "withdraw"]
+        assert manager.stale_count(PEERS[0]) == 0
+
+    def test_hard_down_cancels_pending_restart(self):
+        manager = loaded_manager()
+        manager.peer_down_graceful(PEERS[0], now=0.0)
+        manager.peer_down_hard(PEERS[0], now=1.0)
+        assert not manager.is_restarting(PEERS[0])
+        assert manager.tick(now=500.0) == []
+
+
+class TestWithdrawDuringRestart:
+    def test_explicit_withdraw_clears_stale(self):
+        manager = loaded_manager()
+        manager.peer_down_graceful(PEERS[0], now=0.0)
+        manager.peer_restarted(PEERS[0])
+        updates = manager.withdraw(PEERS[0], P1, now=3.0)
+        assert [u.kind for u in updates] == [UpdateKind.WITHDRAW]
+        assert manager.stale_count(PEERS[0]) == 1
+
+    def test_smalta_sees_no_churn_for_clean_restart(self):
+        """A full restart cycle in which every route comes back: the
+        SMALTA-facing update stream is completely silent."""
+        manager = loaded_manager()
+        updates = []
+        updates += manager.peer_down_graceful(PEERS[0], now=0.0)
+        manager.peer_restarted(PEERS[0])
+        updates += manager.announce(Route(P1, PEERS[0]), now=2.0)
+        updates += manager.announce(Route(P2, PEERS[0]), now=2.1)
+        updates += manager.end_of_rib(PEERS[0], now=3.0)
+        updates += manager.tick(now=1_000.0)
+        assert updates == []

@@ -1,0 +1,129 @@
+"""Tests for the Loc-RIB: selection churn becomes a clean FIB update stream."""
+
+from __future__ import annotations
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.rib import LocRib, Route
+from repro.bgp.session import PeerSession, SessionManager
+from repro.net.prefix import Prefix
+from repro.net.update import UpdateKind
+
+from tests.conftest import make_nexthops
+
+PEERS = make_nexthops(4)
+P = Prefix.from_string("10.0.0.0/8")
+P2 = Prefix.from_string("192.168.0.0/16")
+
+
+class TestLocRib:
+    def test_first_announce_emits(self):
+        rib = LocRib()
+        updates = rib.announce(Route(P, PEERS[0]))
+        assert len(updates) == 1
+        assert updates[0].kind is UpdateKind.ANNOUNCE
+        assert updates[0].nexthop == PEERS[0]
+
+    def test_worse_route_is_silent(self):
+        rib = LocRib()
+        rib.announce(Route(P, PEERS[0], PathAttributes(as_path=(1,))))
+        updates = rib.announce(Route(P, PEERS[1], PathAttributes(as_path=(1, 2))))
+        assert updates == []
+        assert rib.best(P).peer == PEERS[0]
+
+    def test_better_route_switches(self):
+        rib = LocRib()
+        rib.announce(Route(P, PEERS[1], PathAttributes(as_path=(1, 2))))
+        updates = rib.announce(Route(P, PEERS[0], PathAttributes(as_path=(1,))))
+        assert len(updates) == 1
+        assert updates[0].nexthop == PEERS[0]
+
+    def test_withdraw_of_best_fails_over(self):
+        rib = LocRib()
+        rib.announce(Route(P, PEERS[0], PathAttributes(as_path=(1,))))
+        rib.announce(Route(P, PEERS[1], PathAttributes(as_path=(1, 2))))
+        updates = rib.withdraw(P, PEERS[0])
+        assert len(updates) == 1
+        assert updates[0].kind is UpdateKind.ANNOUNCE
+        assert updates[0].nexthop == PEERS[1]
+
+    def test_last_withdraw_removes(self):
+        rib = LocRib()
+        rib.announce(Route(P, PEERS[0]))
+        updates = rib.withdraw(P, PEERS[0])
+        assert [u.kind for u in updates] == [UpdateKind.WITHDRAW]
+        assert len(rib) == 0
+
+    def test_withdraw_of_loser_is_silent(self):
+        rib = LocRib()
+        rib.announce(Route(P, PEERS[0], PathAttributes(as_path=(1,))))
+        rib.announce(Route(P, PEERS[1], PathAttributes(as_path=(1, 2))))
+        assert rib.withdraw(P, PEERS[1]) == []
+
+    def test_unknown_withdraw_ignored(self):
+        rib = LocRib()
+        assert rib.withdraw(P, PEERS[0]) == []
+
+    def test_attribute_change_same_peer_fib_invisible(self):
+        rib = LocRib()
+        rib.announce(Route(P, PEERS[0], PathAttributes(med=1)))
+        updates = rib.announce(Route(P, PEERS[0], PathAttributes(med=2)))
+        assert updates == []  # nexthop unchanged → nothing for the FIB
+
+    def test_duplicate_announce_silent(self):
+        rib = LocRib()
+        rib.announce(Route(P, PEERS[0]))
+        assert rib.announce(Route(P, PEERS[0])) == []
+
+    def test_drop_peer_withdraws_everything(self):
+        rib = LocRib()
+        rib.announce(Route(P, PEERS[0]))
+        rib.announce(Route(P2, PEERS[0]))
+        rib.announce(Route(P2, PEERS[1], PathAttributes(as_path=(9, 9, 9))))
+        updates = rib.drop_peer(PEERS[0])
+        kinds = sorted(u.kind.value for u in updates)
+        # P is fully withdrawn; P2 fails over to the remaining peer.
+        assert kinds == ["announce", "withdraw"]
+        assert rib.table() == {P2: PEERS[1]}
+
+    def test_table_and_counts(self):
+        rib = LocRib()
+        rib.announce(Route(P, PEERS[0]))
+        rib.announce(Route(P, PEERS[1], PathAttributes(as_path=(1, 2))))
+        assert rib.table() == {P: PEERS[0]}
+        assert rib.candidate_count(P) == 2
+
+
+class TestSessions:
+    def test_end_of_rib_gate(self):
+        manager = SessionManager()
+        manager.add_peer(PEERS[0])
+        manager.add_peer(PEERS[1])
+        assert not manager.end_of_rib(PEERS[0])
+        assert not manager.all_initialized
+        assert manager.end_of_rib(PEERS[1])
+        assert manager.all_initialized
+
+    def test_no_peers_is_not_initialized(self):
+        assert not SessionManager().all_initialized
+
+    def test_dropped_peer_does_not_block(self):
+        manager = SessionManager()
+        manager.add_peer(PEERS[0])
+        manager.add_peer(PEERS[1])
+        manager.end_of_rib(PEERS[0])
+        manager.drop(PEERS[1])
+        assert manager.all_initialized
+
+    def test_duplicate_peer_rejected(self):
+        import pytest
+
+        manager = SessionManager()
+        manager.add_peer(PEERS[0])
+        with pytest.raises(ValueError):
+            manager.add_peer(PEERS[0])
+
+    def test_session_counters(self):
+        session = PeerSession(PEERS[0])
+        session.announcements += 1
+        assert session.announcements == 1
+        assert not session.end_of_rib_received

@@ -1,0 +1,77 @@
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+Small address widths (4–8 bits) let the oracle checks enumerate the whole
+address space while exercising every structural case the algorithms have.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+
+def make_nexthops(count: int) -> list[Nexthop]:
+    return [Nexthop(i, f"nh{i}") for i in range(count)]
+
+
+def prefixes(width: int, min_length: int = 0) -> st.SearchStrategy[Prefix]:
+    """Strategy over all prefixes of a small width."""
+
+    def build(draw_tuple):
+        length, raw = draw_tuple
+        if length == 0:
+            return Prefix.root(width)
+        top = raw & ((1 << length) - 1)
+        return Prefix(top << (width - length), length, width)
+
+    return st.tuples(
+        st.integers(min_value=min_length, max_value=width),
+        st.integers(min_value=0, max_value=(1 << width) - 1),
+    ).map(build)
+
+
+def nexthops(count: int = 4) -> st.SearchStrategy[Nexthop]:
+    pool = make_nexthops(count)
+    return st.sampled_from(pool)
+
+
+def tables(
+    width: int, nexthop_count: int = 4, max_size: int = 24
+) -> st.SearchStrategy[dict[Prefix, Nexthop]]:
+    """Strategy over random prefix tables (no DROP entries, like an OT)."""
+    return st.dictionaries(
+        prefixes(width, min_length=1), nexthops(nexthop_count), max_size=max_size
+    )
+
+
+def lookup_oracle(table: dict[Prefix, Nexthop], address: int, width: int) -> Nexthop:
+    """Reference longest-prefix-match by linear scan."""
+    best = DROP
+    best_length = -1
+    for prefix, nexthop in table.items():
+        if prefix.contains_address(address) and prefix.length > best_length:
+            best = nexthop
+            best_length = prefix.length
+    return best
+
+
+def random_table(
+    rng: random.Random, width: int, size: int, nexthop_pool: list[Nexthop]
+) -> dict[Prefix, Nexthop]:
+    table: dict[Prefix, Nexthop] = {}
+    while len(table) < size:
+        length = rng.randint(1, width)
+        top = rng.getrandbits(length)
+        prefix = Prefix(top << (width - length), length, width)
+        table[prefix] = rng.choice(nexthop_pool)
+    return table
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20110712)

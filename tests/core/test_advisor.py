@@ -1,0 +1,81 @@
+"""Tests for the snapshot-policy advisor."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.advisor import Advice, advise, calibrate
+from repro.workloads.synthetic_table import TableProfile, generate_table
+from repro.workloads.synthetic_updates import generate_update_trace
+
+from tests.conftest import make_nexthops
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(17)
+    nexthops = make_nexthops(5)
+    profile = TableProfile(width=16)
+    table = generate_table(600, nexthops, rng, profile=profile)
+    trace = generate_update_trace(table, 1200, nexthops, rng)
+    return table, trace
+
+
+class TestCalibration:
+    def test_curve_shape(self, workload):
+        table, trace = workload
+        points = calibrate(table, trace, [50, 200, 600], width=16)
+        assert [p.spacing for p in points] == [50, 200, 600]
+        # More spacing → bigger bursts, fewer snapshots.
+        bursts = [p.mean_burst for p in points]
+        assert bursts == sorted(bursts)
+        snapshots = [p.snapshots for p in points]
+        assert snapshots == sorted(snapshots, reverse=True)
+        # Update-download rate is spacing-independent (within noise).
+        rates = [p.downloads_per_update for p in points]
+        assert max(rates) - min(rates) < 0.15
+
+    def test_input_validation(self, workload):
+        table, trace = workload
+        with pytest.raises(ValueError):
+            calibrate(table, trace, [], width=16)
+        with pytest.raises(ValueError):
+            calibrate(table, trace, [0], width=16)
+
+
+class TestAdvice:
+    def test_respects_budget(self, workload):
+        table, trace = workload
+        advice = advise(table, trace, burst_budget=10_000, width=16)
+        assert isinstance(advice, Advice)
+        assert advice.expected_burst <= 10_000
+        # A generous budget allows the largest calibrated spacing.
+        assert advice.recommended_spacing == max(p.spacing for p in advice.curve)
+
+    def test_tight_budget_means_frequent_snapshots(self, workload):
+        table, trace = workload
+        generous = advise(table, trace, burst_budget=10_000, width=16)
+        tight = advise(table, trace, burst_budget=5, width=16)
+        assert tight.recommended_spacing <= generous.recommended_spacing
+        # Even an unmeetable budget returns the most frequent option.
+        assert tight.recommended_spacing == min(p.spacing for p in tight.curve)
+
+    def test_conservative_vs_mean(self, workload):
+        table, trace = workload
+        budget = 40
+        lax = advise(table, trace, budget, width=16, conservative=False)
+        strict = advise(table, trace, budget, width=16, conservative=True)
+        assert strict.recommended_spacing <= lax.recommended_spacing
+
+    def test_str_rendering(self, workload):
+        table, trace = workload
+        advice = advise(table, trace, burst_budget=1_000, width=16)
+        text = str(advice)
+        assert "snapshot every" in text and "budget" in text
+
+    def test_budget_validation(self, workload):
+        table, trace = workload
+        with pytest.raises(ValueError):
+            advise(table, trace, burst_budget=0, width=16)

@@ -1,0 +1,78 @@
+"""Tests for FIB download types, the log, and snapshot-delta computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.downloads import (
+    DownloadKind,
+    DownloadLog,
+    FibDownload,
+    diff_tables,
+)
+from repro.net.prefix import Prefix
+
+from tests.conftest import make_nexthops
+
+NH = make_nexthops(3)
+
+
+def bp(bits: str) -> Prefix:
+    return Prefix.from_bits(bits, width=8)
+
+
+class TestFibDownload:
+    def test_insert_requires_nexthop(self):
+        with pytest.raises(ValueError):
+            FibDownload(DownloadKind.INSERT, bp("1"))
+
+    def test_constructors(self):
+        ins = FibDownload.insert(bp("1"), NH[0])
+        dele = FibDownload.delete(bp("1"))
+        assert ins.kind is DownloadKind.INSERT and ins.nexthop == NH[0]
+        assert dele.kind is DownloadKind.DELETE and dele.nexthop is None
+
+
+class TestDiffTables:
+    def test_empty_to_table_is_all_inserts(self):
+        new = {bp("1"): NH[0], bp("01"): NH[1]}
+        downloads = diff_tables({}, new)
+        assert all(d.kind is DownloadKind.INSERT for d in downloads)
+        assert len(downloads) == 2
+
+    def test_removed_prefix_is_delete(self):
+        downloads = diff_tables({bp("1"): NH[0]}, {})
+        assert [d.kind for d in downloads] == [DownloadKind.DELETE]
+
+    def test_changed_nexthop_is_delete_plus_insert(self):
+        downloads = diff_tables({bp("1"): NH[0]}, {bp("1"): NH[1]})
+        kinds = [d.kind for d in downloads]
+        assert kinds == [DownloadKind.DELETE, DownloadKind.INSERT]
+
+    def test_unchanged_entry_silent(self):
+        table = {bp("1"): NH[0]}
+        assert diff_tables(table, dict(table)) == []
+
+
+class TestDownloadLog:
+    def test_attribution(self):
+        log = DownloadLog()
+        log.record_update_downloads([FibDownload.insert(bp("1"), NH[0])])
+        log.record_snapshot_burst(
+            [FibDownload.delete(bp("1")), FibDownload.insert(bp("0"), NH[1])]
+        )
+        assert log.update_downloads == 1
+        assert log.snapshot_downloads == 2
+        assert log.total == 3 and len(log) == 3
+        assert log.snapshot_bursts == [2]
+        assert log.snapshot_count == 1
+        assert log.mean_snapshot_burst == 2.0
+        assert len(list(log)) == 3
+
+    def test_keep_entries_false_drops_bodies(self):
+        log = DownloadLog(keep_entries=False)
+        log.record_update_downloads([FibDownload.insert(bp("1"), NH[0])])
+        assert log.total == 1 and list(log) == []
+
+    def test_mean_burst_empty(self):
+        assert DownloadLog().mean_snapshot_burst == 0.0

@@ -1,0 +1,111 @@
+"""Tests for the TaCo semantic-equivalence checker."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equivalence import (
+    equivalence_counterexample,
+    semantically_equivalent,
+)
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+from tests.conftest import lookup_oracle, make_nexthops, tables
+
+NH = make_nexthops(4)
+
+
+def bp(bits: str, width: int = 6) -> Prefix:
+    return Prefix.from_bits(bits, width=width)
+
+
+class TestBasics:
+    def test_empty_tables_equivalent(self):
+        assert semantically_equivalent({}, {}, 8)
+
+    def test_identical_tables(self):
+        table = {bp("10"): NH[0], bp("11"): NH[1]}
+        assert semantically_equivalent(table, table, 6)
+
+    def test_figure_2_pair(self):
+        a, b = NH[0], NH[1]
+        original = {
+            Prefix.from_string("128.16.0.0/15"): b,
+            Prefix.from_string("128.18.0.0/15"): a,
+            Prefix.from_string("128.16.0.0/16"): a,
+        }
+        aggregated = {
+            Prefix.from_string("128.16.0.0/14"): a,
+            Prefix.from_string("128.17.0.0/16"): b,
+        }
+        assert semantically_equivalent(original, aggregated)
+
+    def test_detects_value_difference(self):
+        counterexample = equivalence_counterexample(
+            {bp("1"): NH[0]}, {bp("1"): NH[1]}, 6
+        )
+        assert counterexample is not None
+        prefix, got_a, got_b = counterexample
+        assert got_a == NH[0] and got_b == NH[1]
+        assert bp("1").contains(prefix)
+
+    def test_detects_coverage_difference(self):
+        # table_b covers extra space that table_a leaves unrouted.
+        assert not semantically_equivalent(
+            {bp("10"): NH[0]}, {bp("1"): NH[0]}, 6
+        )
+
+    def test_drop_entry_equals_absence(self):
+        # An explicit DROP over an unrouted region is a semantic no-op.
+        table_a = {bp("10"): NH[0]}
+        table_b = {bp("10"): NH[0], bp("01"): DROP}
+        assert semantically_equivalent(table_a, table_b, 6)
+
+    def test_drop_puncture_differs_from_plain_cover(self):
+        table_a = {bp("1"): NH[0]}
+        table_b = {bp("1"): NH[0], bp("11"): DROP}
+        counterexample = equivalence_counterexample(table_a, table_b, 6)
+        assert counterexample is not None
+        assert counterexample[1] == NH[0] and counterexample[2] == DROP
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        table_a=tables(5, nexthop_count=3, max_size=10),
+        table_b=tables(5, nexthop_count=3, max_size=10),
+    )
+    def test_matches_exhaustive_scan(self, table_a, table_b):
+        """The tree walk must agree with checking all 32 addresses."""
+        expected = all(
+            lookup_oracle(table_a, address, 5) == lookup_oracle(table_b, address, 5)
+            for address in range(32)
+        )
+        assert semantically_equivalent(table_a, table_b, 5) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        table_a=tables(5, nexthop_count=3, max_size=10),
+        table_b=tables(5, nexthop_count=3, max_size=10),
+    )
+    def test_counterexample_is_genuine(self, table_a, table_b):
+        counterexample = equivalence_counterexample(table_a, table_b, 5)
+        if counterexample is None:
+            return
+        prefix, value_a, value_b = counterexample
+        address = prefix.value  # first address of the divergent region
+        assert lookup_oracle(table_a, address, 5) == value_a
+        assert lookup_oracle(table_b, address, 5) == value_b
+        assert value_a != value_b
+
+    @settings(max_examples=100, deadline=None)
+    @given(table=tables(6, nexthop_count=3, max_size=14), bits=st.integers(0, 63))
+    def test_symmetric(self, table, bits):
+        other = dict(table)
+        probe = Prefix(bits & ~1, 5, 6).child(bits & 1)
+        other[probe] = NH[3]
+        assert semantically_equivalent(table, other, 6) == semantically_equivalent(
+            other, table, 6
+        )

@@ -1,0 +1,65 @@
+"""Tests for the independent exact-optimal DP (the ORTC certifier)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.optimal import optimal_table_size
+from repro.net.prefix import Prefix
+
+from tests.conftest import make_nexthops, tables
+
+NH = make_nexthops(3)
+
+
+def bp(bits: str, width: int = 4) -> Prefix:
+    return Prefix.from_bits(bits, width=width)
+
+
+class TestKnownOptima:
+    def test_empty(self):
+        assert optimal_table_size({}, 4) == 0
+
+    def test_single_entry(self):
+        assert optimal_table_size({bp("1"): NH[0]}, 4) == 1
+
+    def test_mergeable_siblings(self):
+        table = {bp("0"): NH[0], bp("1"): NH[0]}
+        assert optimal_table_size(table, 4) == 1
+
+    def test_figure_2(self):
+        a, b = NH[0], NH[1]
+        table = {
+            Prefix.from_string("128.16.0.0/15"): b,
+            Prefix.from_string("128.18.0.0/15"): a,
+            Prefix.from_string("128.16.0.0/16"): a,
+        }
+        assert optimal_table_size(table, 32) == 2
+
+    def test_hole_puncture_counted(self):
+        table = {bp("00"): NH[0], bp("10"): NH[0], bp("11"): NH[0]}
+        assert optimal_table_size(table, 4) == 2  # root->A + 01->DROP
+
+    def test_redundant_specific(self):
+        table = {bp("1"): NH[0], bp("11"): NH[0]}
+        assert optimal_table_size(table, 4) == 1
+
+
+class TestBounds:
+    @settings(max_examples=150, deadline=None)
+    @given(table=tables(5, nexthop_count=3, max_size=12))
+    def test_at_most_input_size(self, table):
+        assert optimal_table_size(table, 5) <= len(table)
+
+    @settings(max_examples=150, deadline=None)
+    @given(table=tables(5, nexthop_count=3, max_size=12))
+    def test_zero_only_for_empty_semantics(self, table):
+        size = optimal_table_size(table, 5)
+        # Size 0 is possible only when the table routes nothing.
+        from tests.conftest import lookup_oracle
+        from repro.net.nexthop import DROP
+
+        routes_something = any(
+            lookup_oracle(table, address, 5) != DROP for address in range(32)
+        )
+        assert (size == 0) == (not routes_something)

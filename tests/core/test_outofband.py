@@ -1,0 +1,190 @@
+"""Tests for out-of-band update processing during snapshots (Section 7).
+
+The crucial property: while a snapshot epoch is open, the FIB (stale AT
+plus overrides) must stay semantically equivalent to the live OT after
+*every single update* — that is the whole point of processing updates
+out-of-band instead of queueing them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.equivalence import equivalence_counterexample
+from repro.core.manager import SmaltaManager
+from repro.core.outofband import OutOfBandManager
+from repro.core.ortc import ortc
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate
+
+from tests.conftest import make_nexthops
+
+WIDTH = 6
+NEXTHOPS = make_nexthops(4)
+
+
+def to_prefix(length: int, bits: int) -> Prefix:
+    top = bits & ((1 << length) - 1)
+    return Prefix(top << (WIDTH - length), length, WIDTH)
+
+
+def op_strategy():
+    return st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(min_value=1, max_value=WIDTH),
+        st.integers(min_value=0, max_value=(1 << WIDTH) - 1),
+        st.integers(min_value=0, max_value=len(NEXTHOPS) - 1),
+    )
+
+
+def seeded_manager(seed: int) -> tuple[OutOfBandManager, dict]:
+    rng = random.Random(seed)
+    manager = OutOfBandManager(width=WIDTH)
+    shadow: dict = {}
+    for _ in range(rng.randint(0, 25)):
+        prefix = to_prefix(rng.randint(1, WIDTH), rng.getrandbits(WIDTH))
+        nexthop = rng.choice(NEXTHOPS)
+        manager.manager.state.load(prefix, nexthop)
+        shadow[prefix] = nexthop
+    manager.manager.loading = False
+    manager.manager.state.snapshot()
+    return manager, shadow
+
+
+class TestEpochBasics:
+    def test_epoch_state_machine(self):
+        manager = OutOfBandManager(width=WIDTH)
+        assert not manager.in_snapshot
+        manager.begin_snapshot()
+        assert manager.in_snapshot
+        with pytest.raises(RuntimeError):
+            manager.begin_snapshot()
+        manager.finish_snapshot()
+        assert not manager.in_snapshot
+        with pytest.raises(RuntimeError):
+            manager.finish_snapshot()
+
+    def test_updates_outside_epoch_pass_through(self):
+        manager = OutOfBandManager(width=WIDTH)
+        manager.manager.loading = False
+        downloads = manager.apply(
+            RouteUpdate.announce(to_prefix(2, 0b10), NEXTHOPS[0])
+        )
+        assert len(downloads) == 1
+        assert manager.manager.ot_size == 1
+
+    def test_epoch_update_downloads_immediately(self):
+        manager, shadow = seeded_manager(1)
+        manager.begin_snapshot()
+        prefix = to_prefix(3, 0b101)
+        downloads = manager.apply(RouteUpdate.announce(prefix, NEXTHOPS[0]))
+        shadow[prefix] = NEXTHOPS[0]
+        # Overrides cover exactly the divergent regions, all inside the
+        # announced prefix, and the FIB reflects the update instantly.
+        assert all(prefix.contains(d.prefix) for d in downloads)
+        assert equivalence_counterexample(
+            shadow, manager.epoch_fib_table(), WIDTH
+        ) is None
+        manager.finish_snapshot()
+
+    def test_duplicate_announce_in_epoch_is_noop(self):
+        manager, shadow = seeded_manager(2)
+        if not shadow:
+            return
+        prefix, nexthop = next(iter(shadow.items()))
+        manager.begin_snapshot()
+        assert manager.apply(RouteUpdate.announce(prefix, nexthop)) == []
+        manager.finish_snapshot()
+
+    def test_unknown_withdraw_in_epoch_is_noop(self):
+        manager, _ = seeded_manager(3)
+        manager.begin_snapshot()
+        missing = to_prefix(WIDTH, 0)
+        if missing not in manager.manager.state.ot_table():
+            assert manager.apply(RouteUpdate.withdraw(missing)) == []
+        manager.finish_snapshot()
+
+
+class TestEpochEquivalence:
+    @settings(
+        max_examples=300, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        ops=st.lists(op_strategy(), max_size=15),
+    )
+    def test_fib_equivalent_after_every_epoch_update(self, seed, ops):
+        manager, shadow = seeded_manager(seed)
+        manager.begin_snapshot()
+        for kind, length, bits, nh_index in ops:
+            prefix = to_prefix(length, bits)
+            if kind == "insert":
+                manager.apply(RouteUpdate.announce(prefix, NEXTHOPS[nh_index]))
+                shadow[prefix] = NEXTHOPS[nh_index]
+            else:
+                manager.apply(RouteUpdate.withdraw(prefix))
+                shadow.pop(prefix, None)
+            counterexample = equivalence_counterexample(
+                shadow, manager.epoch_fib_table(), WIDTH
+            )
+            assert counterexample is None, (
+                f"epoch FIB diverged after {kind} {prefix}: {counterexample}"
+            )
+        swap = manager.finish_snapshot()
+        # After the swap the AT is optimal and equivalent again.
+        assert manager.manager.at_size == len(ortc(shadow.items(), WIDTH))
+        assert equivalence_counterexample(
+            shadow, manager.manager.state.at_table(), WIDTH
+        ) is None
+        manager.manager.state.verify()
+        # Applying the swap to the epoch FIB yields exactly the new AT.
+        del swap  # (diff_tables correctness is covered in test_downloads)
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_empty_epoch_swap_is_minimal(self, seed):
+        manager, shadow = seeded_manager(seed)
+        manager.begin_snapshot()
+        swap = manager.finish_snapshot()
+        # Nothing happened during the epoch and the AT was already
+        # optimal, so the swap must be empty.
+        assert swap == []
+
+
+class TestAgainstQueueingManager:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        ops=st.lists(op_strategy(), max_size=10),
+    )
+    def test_final_state_matches_queueing_semantics(self, seed, ops):
+        """Out-of-band and queue-then-drain must converge to the same AT."""
+        oob, _ = seeded_manager(seed)
+        queued = SmaltaManager(width=WIDTH)
+        for prefix, nexthop in oob.manager.state.ot_table().items():
+            queued.apply(RouteUpdate.announce(prefix, nexthop))
+        queued.end_of_rib()
+
+        updates = []
+        for kind, length, bits, nh_index in ops:
+            prefix = to_prefix(length, bits)
+            if kind == "insert":
+                updates.append(RouteUpdate.announce(prefix, NEXTHOPS[nh_index]))
+            else:
+                updates.append(RouteUpdate.withdraw(prefix))
+
+        oob.run_snapshot_with_updates(updates)
+        oob.manager.snapshot_now()  # normalize both to optimal
+
+        queued._in_snapshot = True
+        for update in updates:
+            queued.apply(update)
+        queued._in_snapshot = False
+        queued.snapshot_now()
+        queued.snapshot_now()
+
+        assert oob.manager.state.at_table() == queued.state.at_table()

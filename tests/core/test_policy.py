@@ -1,0 +1,90 @@
+"""Tests for snapshot scheduling policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import (
+    CombinedPolicy,
+    GrowthSnapshotPolicy,
+    ManualSnapshotPolicy,
+    PeriodicUpdateCountPolicy,
+    WallClockPolicy,
+)
+
+
+class TestManual:
+    def test_never_fires(self):
+        policy = ManualSnapshotPolicy()
+        assert not policy.should_snapshot(10**6, 10**6)
+        policy.on_snapshot(5)  # no-op
+
+
+class TestPeriodic:
+    def test_fires_at_spacing(self):
+        policy = PeriodicUpdateCountPolicy(100)
+        assert not policy.should_snapshot(99, 0)
+        assert policy.should_snapshot(100, 0)
+        assert policy.should_snapshot(101, 0)
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            PeriodicUpdateCountPolicy(0)
+
+
+class TestGrowth:
+    def test_requires_baseline(self):
+        policy = GrowthSnapshotPolicy(0.1)
+        assert not policy.should_snapshot(10, 1000)  # no baseline yet
+        policy.on_snapshot(1000)
+        assert not policy.should_snapshot(10, 1050)
+        assert policy.should_snapshot(10, 1101)
+
+    def test_baseline_updates(self):
+        policy = GrowthSnapshotPolicy(0.5)
+        policy.on_snapshot(100)
+        assert policy.should_snapshot(1, 151)
+        policy.on_snapshot(151)
+        assert not policy.should_snapshot(1, 200)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            GrowthSnapshotPolicy(0.0)
+
+
+class TestWallClock:
+    def test_fires_after_interval(self):
+        now = [0.0]
+        policy = WallClockPolicy(3600.0, clock=lambda: now[0])
+        assert not policy.should_snapshot(1, 1)
+        now[0] = 3599.0
+        assert not policy.should_snapshot(1, 1)
+        now[0] = 3600.0
+        assert policy.should_snapshot(1, 1)
+        policy.on_snapshot(1)
+        assert not policy.should_snapshot(1, 1)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            WallClockPolicy(0)
+
+
+class TestCombined:
+    def test_any_member_fires(self):
+        combined = CombinedPolicy(
+            [PeriodicUpdateCountPolicy(10), GrowthSnapshotPolicy(0.1)]
+        )
+        combined.on_snapshot(100)
+        assert combined.should_snapshot(10, 100)  # periodic fires
+        assert combined.should_snapshot(1, 120)  # growth fires
+        assert not combined.should_snapshot(1, 100)
+
+    def test_on_snapshot_propagates(self):
+        growth = GrowthSnapshotPolicy(0.1)
+        combined = CombinedPolicy([growth])
+        combined.on_snapshot(100)
+        assert growth.should_snapshot(0, 200)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CombinedPolicy([])

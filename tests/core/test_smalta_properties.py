@@ -1,0 +1,220 @@
+"""Property-based verification of the SMALTA update algorithms.
+
+This mirrors the paper's own validation ("we automatically computed the
+correctness of millions of updated aggregated tables"): after *every*
+incremental Insert/Delete, the Aggregated Tree must remain semantically
+equivalent to the Original Tree, and the structural invariants of
+Section 3.3 must hold. Snapshots interleaved at random points must also
+leave the state healthy and return the AT to the exact ORTC optimum.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.equivalence import equivalence_counterexample
+from repro.core.ortc import ortc
+from repro.core.smalta import SmaltaState
+from repro.net.nexthop import DROP
+from repro.net.prefix import Prefix
+
+from tests.conftest import lookup_oracle, make_nexthops
+
+WIDTH = 6
+NEXTHOPS = make_nexthops(4)
+
+
+def op_strategy(width: int, nexthop_count: int):
+    """(kind, length, bits, nexthop_index, snapshot_after) tuples."""
+    return st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(min_value=1, max_value=width),
+        st.integers(min_value=0, max_value=(1 << width) - 1),
+        st.integers(min_value=0, max_value=nexthop_count - 1),
+        st.booleans(),
+    )
+
+
+def to_prefix(length: int, bits: int, width: int) -> Prefix:
+    top = bits & ((1 << length) - 1)
+    return Prefix(top << (width - length), length, width)
+
+
+def apply_ops(state: SmaltaState, shadow: dict, ops, width: int) -> None:
+    """Run ops against SMALTA and a shadow dict; verify after each one."""
+    for kind, length, bits, nh_index, snap in ops:
+        prefix = to_prefix(length, bits, width)
+        if kind == "insert":
+            state.insert(prefix, NEXTHOPS[nh_index])
+            shadow[prefix] = NEXTHOPS[nh_index]
+        else:
+            if prefix in shadow:
+                state.delete(prefix)
+                del shadow[prefix]
+            else:
+                with pytest.raises(KeyError):
+                    state.delete(prefix)
+        assert state.ot_table() == shadow, "OT must mirror the shadow table"
+        counterexample = equivalence_counterexample(
+            shadow, state.at_table(), width
+        )
+        assert counterexample is None, (
+            f"AT diverged after {kind} {prefix}: {counterexample}"
+        )
+        state.verify()
+        if snap:
+            state.snapshot()
+            assert state.at_size == len(ortc(shadow.items(), width)), (
+                "post-snapshot AT must be exactly ORTC-optimal"
+            )
+            state.verify()
+
+
+@settings(max_examples=300, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(op_strategy(WIDTH, len(NEXTHOPS)), max_size=40))
+def test_random_update_sequences_preserve_equivalence(ops):
+    state = SmaltaState(WIDTH)
+    apply_ops(state, {}, ops, WIDTH)
+
+
+@settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(op_strategy(WIDTH, len(NEXTHOPS)), max_size=30),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_update_sequences_after_initial_snapshot(ops, seed):
+    """Start from a snapshotted random table, then mutate."""
+    rng = random.Random(seed)
+    state = SmaltaState(WIDTH)
+    shadow: dict = {}
+    for _ in range(rng.randint(0, 20)):
+        length = rng.randint(1, WIDTH)
+        prefix = to_prefix(length, rng.getrandbits(length), WIDTH)
+        nexthop = rng.choice(NEXTHOPS)
+        state.load(prefix, nexthop)
+        shadow[prefix] = nexthop
+    state.snapshot()
+    state.verify()
+    assert state.at_size == len(ortc(shadow.items(), WIDTH))
+    apply_ops(state, shadow, ops, WIDTH)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=st.lists(op_strategy(4, 3), max_size=25))
+def test_exhaustive_address_space_width4(ops):
+    """On width 4 the whole 16-address space is checked by brute force."""
+    state = SmaltaState(4)
+    shadow: dict = {}
+    for kind, length, bits, nh_index, _ in ops:
+        length = min(length, 4)
+        prefix = to_prefix(length, bits, 4)
+        if kind == "insert":
+            state.insert(prefix, NEXTHOPS[nh_index % 3])
+            shadow[prefix] = NEXTHOPS[nh_index % 3]
+        elif prefix in shadow:
+            state.delete(prefix)
+            del shadow[prefix]
+        else:
+            continue
+        for address in range(16):
+            expected = lookup_oracle(shadow, address, 4)
+            assert state.trie.lookup_at(address) == expected
+            assert state.trie.lookup_ot(address) == expected
+
+
+def test_long_random_run_with_periodic_snapshots(rng):
+    """A deeper soak than hypothesis examples: 2000 ops on width 8."""
+    width = 8
+    state = SmaltaState(width)
+    shadow: dict = {}
+    pool = make_nexthops(5)
+    live: list[Prefix] = []
+    for step in range(2000):
+        if shadow and rng.random() < 0.4:
+            prefix = rng.choice(live)
+            if prefix in shadow:
+                state.delete(prefix)
+                del shadow[prefix]
+        else:
+            length = rng.randint(1, width)
+            prefix = to_prefix(length, rng.getrandbits(length), width)
+            nexthop = rng.choice(pool)
+            state.insert(prefix, nexthop)
+            shadow[prefix] = nexthop
+            live.append(prefix)
+        if step % 100 == 7:
+            state.snapshot()
+        if step % 10 == 0:
+            assert equivalence_counterexample(shadow, state.at_table(), width) is None
+    state.verify()
+    assert state.ot_table() == shadow
+
+
+@settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(op_strategy(WIDTH, len(NEXTHOPS)), max_size=30))
+def test_non_compact_mode_also_preserves_equivalence(ops):
+    """compact=False (the literal pseudocode, no redundancy elision) must
+    be just as correct — only less optimal."""
+    state = SmaltaState(WIDTH, compact=False)
+    shadow: dict = {}
+    for kind, length, bits, nh_index, snap in ops:
+        prefix = to_prefix(length, bits, WIDTH)
+        if kind == "insert":
+            state.insert(prefix, NEXTHOPS[nh_index])
+            shadow[prefix] = NEXTHOPS[nh_index]
+        elif prefix in shadow:
+            state.delete(prefix)
+            del shadow[prefix]
+        else:
+            continue
+        assert equivalence_counterexample(shadow, state.at_table(), WIDTH) is None
+        if snap:
+            state.snapshot()
+            assert equivalence_counterexample(
+                shadow, state.at_table(), WIDTH
+            ) is None
+
+
+def test_at_never_larger_than_ot_after_snapshot(rng):
+    width = 8
+    state = SmaltaState(width)
+    pool = make_nexthops(3)
+    for _ in range(120):
+        length = rng.randint(1, width)
+        prefix = to_prefix(length, rng.getrandbits(length), width)
+        state.load(prefix, rng.choice(pool))
+    state.snapshot()
+    assert state.at_size <= state.ot_size
+
+
+def test_drift_stays_bounded_relative_to_optimal(rng):
+    """After many incremental updates the AT drifts from optimal but stays
+    a valid aggregation (the paper: a few percent over tens of thousands)."""
+    width = 8
+    state = SmaltaState(width)
+    pool = make_nexthops(3)
+    shadow: dict = {}
+    for _ in range(100):
+        length = rng.randint(1, width)
+        prefix = to_prefix(length, rng.getrandbits(length), width)
+        nexthop = rng.choice(pool)
+        state.load(prefix, nexthop)
+        shadow[prefix] = nexthop
+    state.snapshot()
+    for _ in range(300):
+        length = rng.randint(1, width)
+        prefix = to_prefix(length, rng.getrandbits(length), width)
+        if prefix in shadow and rng.random() < 0.5:
+            state.delete(prefix)
+            del shadow[prefix]
+        else:
+            nexthop = rng.choice(pool)
+            state.insert(prefix, nexthop)
+            shadow[prefix] = nexthop
+    optimal = len(ortc(shadow.items(), width))
+    assert state.at_size >= optimal, "cannot beat the optimum"
+    assert equivalence_counterexample(shadow, state.at_table(), width) is None

@@ -1,0 +1,137 @@
+"""Stateful (model-based) testing of the full SMALTA lifecycle.
+
+A hypothesis RuleBasedStateMachine drives a SmaltaState and, in parallel,
+a SmaltaManager-with-kernel, through arbitrary interleavings of inserts,
+deletes, duplicate announcements, snapshots, policy changes and even
+out-of-band snapshot epochs — checking after every step that every view
+of the forwarding state agrees with the reference model (a plain dict).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.equivalence import equivalence_counterexample
+from repro.core.outofband import OutOfBandManager
+from repro.core.smalta import SmaltaState
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate
+
+from tests.conftest import make_nexthops
+
+WIDTH = 5
+NEXTHOPS = make_nexthops(3)
+
+prefix_strategy = st.builds(
+    lambda length, bits: Prefix(
+        (bits & ((1 << length) - 1)) << (WIDTH - length), length, WIDTH
+    ),
+    st.integers(min_value=1, max_value=WIDTH),
+    st.integers(min_value=0, max_value=(1 << WIDTH) - 1),
+)
+nexthop_strategy = st.sampled_from(NEXTHOPS)
+
+
+class SmaltaMachine(RuleBasedStateMachine):
+    """Reference model: a dict. System under test: SmaltaState."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.state = SmaltaState(WIDTH)
+        self.model: dict[Prefix, object] = {}
+        self.updates_since_check = 0
+
+    @rule(prefix=prefix_strategy, nexthop=nexthop_strategy)
+    def insert(self, prefix, nexthop) -> None:
+        self.state.insert(prefix, nexthop)
+        self.model[prefix] = nexthop
+
+    @rule(prefix=prefix_strategy)
+    def delete_if_present(self, prefix) -> None:
+        if prefix in self.model:
+            self.state.delete(prefix)
+            del self.model[prefix]
+
+    @rule(prefix=prefix_strategy)
+    def duplicate_announce(self, prefix) -> None:
+        if prefix in self.model:
+            downloads = self.state.insert(prefix, self.model[prefix])
+            assert downloads == []
+
+    @rule()
+    def snapshot(self) -> None:
+        self.state.snapshot()
+
+    @invariant()
+    def ot_matches_model(self) -> None:
+        assert self.state.ot_table() == self.model
+
+    @invariant()
+    def at_equivalent_to_model(self) -> None:
+        counterexample = equivalence_counterexample(
+            self.model, self.state.at_table(), WIDTH
+        )
+        assert counterexample is None, counterexample
+
+    @invariant()
+    def structural_invariants_hold(self) -> None:
+        self.state.verify()
+
+
+class OutOfBandMachine(RuleBasedStateMachine):
+    """Drives the out-of-band manager through epoch open/close cycles."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.oob = OutOfBandManager(width=WIDTH)
+        self.oob.manager.loading = False
+        self.model: dict[Prefix, object] = {}
+
+    @rule(prefix=prefix_strategy, nexthop=nexthop_strategy)
+    def announce(self, prefix, nexthop) -> None:
+        self.oob.apply(RouteUpdate.announce(prefix, nexthop))
+        self.model[prefix] = nexthop
+
+    @rule(prefix=prefix_strategy)
+    def withdraw(self, prefix) -> None:
+        self.oob.apply(RouteUpdate.withdraw(prefix))
+        self.model.pop(prefix, None)
+
+    @precondition(lambda self: not self.oob.in_snapshot)
+    @rule()
+    def open_epoch(self) -> None:
+        self.oob.begin_snapshot()
+
+    @precondition(lambda self: self.oob.in_snapshot)
+    @rule()
+    def close_epoch(self) -> None:
+        self.oob.finish_snapshot()
+
+    @invariant()
+    def fib_view_equivalent(self) -> None:
+        fib = (
+            self.oob.epoch_fib_table()
+            if self.oob.in_snapshot
+            else self.oob.manager.state.at_table()
+        )
+        counterexample = equivalence_counterexample(self.model, fib, WIDTH)
+        assert counterexample is None, counterexample
+
+
+TestSmaltaMachine = SmaltaMachine.TestCase
+TestSmaltaMachine.settings = settings(
+    max_examples=120, stateful_step_count=40, deadline=None
+)
+
+TestOutOfBandMachine = OutOfBandMachine.TestCase
+TestOutOfBandMachine.settings = settings(
+    max_examples=80, stateful_step_count=30, deadline=None
+)

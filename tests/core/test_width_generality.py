@@ -1,0 +1,119 @@
+"""Width-generality tests: the algorithms are address-family agnostic.
+
+The paper is IPv4 (W=32); Definition 1 is parameterized over W, and so is
+this implementation. These tests exercise IPv6 width (128) and odd widths
+end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.equivalence import semantically_equivalent
+from repro.core.manager import SmaltaManager
+from repro.core.ortc import ortc
+from repro.core.smalta import SmaltaState
+from repro.fib.treebitmap import TreeBitmap
+from repro.net.prefix import IPV6_WIDTH, Prefix
+from repro.net.update import RouteUpdate
+
+from tests.conftest import make_nexthops
+
+NH = make_nexthops(4)
+
+
+def v6(bits: str) -> Prefix:
+    return Prefix.from_bits(bits, width=IPV6_WIDTH)
+
+
+class TestIpv6Smalta:
+    def test_figure2_shape_at_width_128(self):
+        """The Figure 2 aggregation pattern, transplanted to IPv6."""
+        state = SmaltaState(IPV6_WIDTH)
+        # 2001:db8::/32-style structure, expressed as raw bits.
+        base = "0010000000000001000011011011100"  # a /31-ish stem
+        state.load(v6(base + "0"), NH[1])  # .../32 -> B
+        state.load(v6(base + "1"), NH[0])  # sibling /32 -> A
+        state.load(v6(base + "00"), NH[0])  # .../33 -> A
+        state.snapshot()
+        assert state.at_size == 2
+        state.verify()
+
+    def test_random_updates_width_128(self):
+        rng = random.Random(6)
+        state = SmaltaState(IPV6_WIDTH)
+        shadow = {}
+        for step in range(300):
+            length = rng.randint(16, 64)
+            value = rng.getrandbits(length) << (IPV6_WIDTH - length)
+            prefix = Prefix(value, length, IPV6_WIDTH)
+            if prefix in shadow and rng.random() < 0.4:
+                state.delete(prefix)
+                del shadow[prefix]
+            else:
+                nexthop = rng.choice(NH)
+                state.insert(prefix, nexthop)
+                shadow[prefix] = nexthop
+            if step % 60 == 30:
+                state.snapshot()
+        state.verify()
+        assert state.ot_table() == shadow
+        assert semantically_equivalent(shadow, state.at_table(), IPV6_WIDTH)
+
+    def test_manager_width_128(self):
+        manager = SmaltaManager(width=IPV6_WIDTH)
+        prefix = v6("001000000000000100001101")
+        manager.apply(RouteUpdate.announce(prefix, NH[0]))
+        manager.end_of_rib()
+        assert manager.fib_table() == {prefix: NH[0]}
+
+
+class TestIpv6Substrates:
+    def test_ortc_width_128(self):
+        table = {v6("0010" + "0" * 28): NH[0], v6("0010" + "0" * 27 + "1"): NH[0]}
+        aggregated = ortc(table.items(), IPV6_WIDTH)
+        assert len(aggregated) == 1
+        assert semantically_equivalent(table, aggregated, IPV6_WIDTH)
+
+    def test_treebitmap_width_128(self):
+        fib = TreeBitmap(width=IPV6_WIDTH, initial_stride=16, stride=4)
+        prefix = v6("0010000000000001000011011011100000000001")  # /40
+        fib.insert(prefix, NH[0])
+        inside = prefix.value | 0xDEADBEEF
+        assert fib.lookup(inside) == NH[0]
+        assert fib.lookup(1 << 127) != NH[0]
+        fib.delete(prefix)
+        assert fib.node_count() == 0
+
+
+class TestOddWidths:
+    @pytest.mark.parametrize("width", [1, 3, 5, 17])
+    def test_smalta_on_odd_widths(self, width):
+        rng = random.Random(width)
+        state = SmaltaState(width)
+        shadow = {}
+        for _ in range(80):
+            length = rng.randint(1, width)
+            value = rng.getrandbits(length) << (width - length)
+            prefix = Prefix(value, length, width)
+            if prefix in shadow and rng.random() < 0.5:
+                state.delete(prefix)
+                del shadow[prefix]
+            else:
+                nexthop = rng.choice(NH)
+                state.insert(prefix, nexthop)
+                shadow[prefix] = nexthop
+        state.verify()
+
+    def test_width_one_universe(self):
+        state = SmaltaState(1)
+        zero = Prefix.from_bits("0", width=1)
+        one = Prefix.from_bits("1", width=1)
+        state.insert(zero, NH[0])
+        state.insert(one, NH[0])
+        state.snapshot()
+        assert state.at_table() == {Prefix.root(1): NH[0]}
+        state.delete(zero)
+        state.verify()

@@ -1,0 +1,140 @@
+"""Smoke and shape tests for every experiment module.
+
+Each run() is exercised at reduced size (these are correctness tests, not
+the benchmarks) and the paper's qualitative shapes are asserted:
+orderings, monotonicity, and conservation laws that must hold at any
+scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig6_igp_nexthops,
+    fig7_effective_nexthops,
+    fig8_update_drift,
+    fig9_routeviews_drift,
+    fig10_fib_downloads,
+    table1_access_routers,
+    table2_igr,
+    timing,
+)
+from repro.workloads.provider import AR_PROFILES
+
+
+@pytest.fixture(autouse=True)
+def tiny_repro_scale(monkeypatch):
+    """Run every experiment at 1/100 of paper scale for test speed."""
+    monkeypatch.setenv("REPRO_SCALE", "0.01")
+
+
+class TestFig6:
+    def test_shapes(self):
+        result = fig6_igp_nexthops.run(igp_counts=(1, 2, 8, 48))
+        percents = [row.prefix_percent for row in result.rows]
+        # More IGP nexthops → less aggregation, monotonically.
+        assert percents == sorted(percents)
+        # One nexthop collapses far below the many-nexthop plateau (at
+        # paper scale it approaches a single entry; tiny test tables are
+        # more fragmented, so only the relative collapse is asserted).
+        assert percents[0] < percents[-1] * 0.6
+        assert all(row.memory_percent <= 100.0 for row in result.rows)
+        # The don't-care-holes view reaches the paper's single entry.
+        assert result.rows[0].dont_care_percent < 1.0
+        assert "Figure 6" in fig6_igp_nexthops.format_result(result)
+
+
+class TestTable1:
+    def test_orderings(self):
+        result = table1_access_routers.run(profiles=AR_PROFILES[2:5])
+        for row in result.rows:
+            assert row.at.entries <= row.l2.entries <= row.l1.entries
+            assert row.l1.entries <= row.ot.entries
+            assert row.at.avg_accesses <= row.ot.avg_accesses
+        assert "Table 1" in table1_access_routers.format_result(result)
+
+    def test_aggregation_tracks_effective_nexthops(self):
+        result = table1_access_routers.run(
+            profiles=(AR_PROFILES[0], AR_PROFILES[4])
+        )
+        low_e, high_e = result.rows
+        assert low_e.effective < high_e.effective
+        low_pct = low_e.at.entries / low_e.ot.entries
+        high_pct = high_e.at.entries / high_e.ot.entries
+        assert low_pct < high_pct
+
+
+class TestFig7:
+    def test_derived_from_table1(self):
+        table1 = table1_access_routers.run(profiles=AR_PROFILES[:3])
+        result = fig7_effective_nexthops.from_table1(table1)
+        effectives = [p.effective for p in result.points]
+        assert effectives == sorted(effectives)
+        assert all(0 < p.size_percent <= 100 for p in result.points)
+        assert "Figure 7" in fig7_effective_nexthops.format_result(result)
+
+
+class TestTable2:
+    def test_shapes(self):
+        result = table2_igr.run()
+        assert result.initial_at.entries <= result.initial_l2.entries
+        assert result.initial_l2.entries <= result.initial_l1.entries
+        assert result.initial_l1.entries <= result.initial_ot.entries
+        # Drift: the AT grows (or stays) but the OT stays roughly put.
+        assert result.final_at.entries >= result.initial_at.entries * 0.95
+        ot_change = abs(result.final_ot.entries - result.initial_ot.entries)
+        assert ot_change <= result.initial_ot.entries * 0.05
+        assert result.update_downloads <= result.updates_applied
+        assert "Table 2" in table2_igr.format_result(result)
+
+
+class TestFig8:
+    def test_drift_bounded_and_referenced(self):
+        result = fig8_update_drift.run(checkpoints=4)
+        first, last = result.points[0], result.points[-1]
+        assert first.update_percent == pytest.approx(result.initial_percent)
+        for point in result.points:
+            # The incrementally-updated AT can never beat the optimum.
+            assert point.update_percent >= point.snapshot_percent - 1e-9
+        assert last.update_percent - first.update_percent < 15.0
+        assert abs(last.ot_change_percent) < 5.0
+        assert "Figure 8" in fig8_update_drift.format_result(result)
+
+
+class TestFig9:
+    def test_drift_bounded(self):
+        result = fig9_routeviews_drift.run()
+        for point in result.points:
+            assert point.update_percent >= point.snapshot_percent - 1e-9
+        assert "Figure 9" in fig9_routeviews_drift.format_result(result)
+
+
+class TestFig10:
+    def test_download_tradeoff(self, monkeypatch):
+        # Needs a real-sized trace so every spacing fires snapshots.
+        monkeypatch.setenv("REPRO_SCALE", "1")
+        result = fig10_fib_downloads.run(
+            spacings=(20, 100, 400), size_divisor=100
+        )
+        rows = result.rows
+        # Snapshot downloads decrease with spacing; bursts increase.
+        snapshot_totals = [row.snapshot_downloads for row in rows]
+        assert snapshot_totals == sorted(snapshot_totals, reverse=True)
+        bursts = [row.mean_burst for row in rows]
+        assert bursts == sorted(bursts)
+        # Update downloads are roughly spacing-independent (within 20%).
+        update_counts = [row.update_downloads for row in rows]
+        assert max(update_counts) <= min(update_counts) * 1.2
+        for row in rows:
+            assert row.downloads_per_update < 1.5
+        assert "Figure 10" in fig10_fib_downloads.format_result(result)
+
+
+class TestTiming:
+    def test_snapshot_dwarfs_update(self):
+        result = timing.run(nexthop_counts=(4, 64), update_samples=300)
+        assert result.update_mean_us > 0
+        slowest = max(t.duration_s for t in result.snapshot_timings)
+        assert slowest * 1e6 > result.update_mean_us * 10
+        assert "timing" in timing.format_result(result)

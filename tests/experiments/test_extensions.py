@@ -1,0 +1,63 @@
+"""Shape tests for the extension experiments (paper Sections 6/7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import igp_remap, outofband_snapshot, whiteholing_loops
+
+
+@pytest.fixture(autouse=True)
+def tiny_repro_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.02")
+
+
+class TestWhiteholingLoops:
+    def test_only_whiteholing_loops(self):
+        result = whiteholing_loops.run(prefix_count=300)
+        by_scheme = {row.scheme: row for row in result.rows}
+        for scheme in ("SMALTA (ORTC)", "Level-1", "Level-2"):
+            assert by_scheme[scheme].loops == 0
+            assert by_scheme[scheme].whiteholed_addresses == 0
+        whiteholers = [
+            by_scheme["Level-3 (whitehole)"],
+            by_scheme["Level-4 (whitehole)"],
+        ]
+        assert any(row.loops > 0 for row in whiteholers)
+        assert all(row.whiteholed_addresses > 0 for row in whiteholers)
+        # Whiteholing never drops more than the exact schemes.
+        assert all(row.dropped <= result.exact_dropped for row in whiteholers)
+        assert "LOOPS" in whiteholing_loops.format_result(result)
+
+    def test_l4_compresses_hardest(self):
+        result = whiteholing_loops.run(prefix_count=300)
+        by_scheme = {row.scheme: row.fib_entries for row in result.rows}
+        assert by_scheme["Level-4 (whitehole)"] <= by_scheme["SMALTA (ORTC)"]
+
+
+class TestIgpRemap:
+    def test_burst_scales_with_remapped_peers(self):
+        result = igp_remap.run(peer_fractions=(0.05, 0.3))
+        small, large = result.rows
+        assert small.affected_prefixes < large.affected_prefixes
+        assert small.update_downloads <= large.update_downloads
+        # The burst bloats the AT; the snapshot restores near the baseline.
+        for row in result.rows:
+            assert row.at_after >= row.at_before
+            assert row.at_optimal_after <= row.at_after
+        assert "remapping" in igp_remap.format_result(result)
+
+
+class TestOutOfBandSnapshot:
+    def test_oob_never_delays_and_stays_equivalent(self):
+        result = outofband_snapshot.run(
+            batch_sizes=(5, 20), size_divisor=40
+        )
+        for row in result.rows:
+            assert row.oob_delayed == 0
+            assert row.queued_delayed == row.mid_snapshot_updates
+            assert row.equivalent
+            # OOB's fold-in makes its AT exactly optimal, never larger
+            # than the queued manager's drain-after state.
+            assert row.oob_at <= row.queued_at
+        assert "out-of-band" in outofband_snapshot.format_result(result)

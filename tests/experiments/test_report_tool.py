@@ -1,0 +1,45 @@
+"""Tests for the report runner CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tools.report import EXPERIMENTS, main, run_report
+
+
+@pytest.fixture(autouse=True)
+def tiny_repro_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.01")
+
+
+class TestRunner:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["no-such-thing"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_single_experiment_to_stdout(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "total:" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["fig9", "-o", str(target)]) == 0
+        content = target.read_text()
+        assert content.startswith("# SMALTA evaluation report")
+        assert "Figure 9" in content
+        assert str(target) in capsys.readouterr().out
+
+    def test_run_report_returns_durations(self):
+        lines: list[str] = []
+        durations = run_report(["fig9"], emit=lines.append)
+        assert set(durations) == {"fig9"}
+        assert durations["fig9"] > 0
+        assert any("Figure 9" in line for line in lines)

@@ -1,0 +1,60 @@
+"""Tests for the Tree Bitmap churn counters (the FIB's write cost)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.fib.treebitmap import TreeBitmap
+from repro.net.prefix import Prefix
+
+from tests.conftest import make_nexthops, random_table
+
+NH = make_nexthops(3)
+A, B = NH[0], NH[1]
+
+
+def bp(bits: str) -> Prefix:
+    return Prefix.from_bits(bits, width=8)
+
+
+class TestChurnCounters:
+    def test_insert_allocates(self):
+        fib = TreeBitmap(width=8, initial_stride=4, stride=4)
+        fib.insert(bp("10110"), A)
+        assert fib.nodes_allocated == 1
+        assert fib.nodes_freed == 0
+
+    def test_delete_frees(self):
+        fib = TreeBitmap(width=8, initial_stride=4, stride=4)
+        fib.insert(bp("10110"), A)
+        fib.delete(bp("10110"))
+        assert fib.nodes_freed == 1
+        assert fib.node_count() == 0
+
+    def test_shared_node_not_reallocated(self):
+        fib = TreeBitmap(width=8, initial_stride=4, stride=4)
+        fib.insert(bp("10110"), A)
+        fib.insert(bp("10111"), B)  # same node, second internal bit
+        assert fib.nodes_allocated == 1
+
+    def test_slot_rewrites_counted_once_per_change(self):
+        fib = TreeBitmap(width=8, initial_stride=4, stride=4)
+        fib.insert(bp("10"), A)  # covers 4 slots
+        assert fib.slots_rewritten == 4
+        fib.insert(bp("10"), A)  # idempotent: values unchanged
+        assert fib.slots_rewritten == 4
+        fib.insert(bp("10"), B)
+        assert fib.slots_rewritten == 8
+
+    def test_alloc_free_balance_over_churn(self, rng: random.Random):
+        """After inserting and deleting everything, frees == allocations
+        and the structure is empty — no leaked nodes."""
+        fib = TreeBitmap(width=8, initial_stride=4, stride=4)
+        table = random_table(rng, 8, 40, NH)
+        for prefix, nexthop in table.items():
+            fib.insert(prefix, nexthop)
+        for prefix in table:
+            fib.delete(prefix)
+        assert fib.nodes_freed == fib.nodes_allocated
+        assert fib.node_count() == 0
+        assert len(fib) == 0

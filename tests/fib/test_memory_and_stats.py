@@ -1,0 +1,160 @@
+"""Tests for the TBM memory model, lookup-cost statistics, and stride sweep."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.fib.lookup_stats import (
+    CoverageMap,
+    average_lookup_accesses,
+    sampled_lookup_accesses,
+    uniform_lookup_accesses,
+)
+from repro.net.nexthop import DROP
+from repro.fib.memory import MemoryModel, tbm_memory_bytes
+from repro.fib.strides import TbmConfig, select_configuration, valid_configurations
+from repro.fib.treebitmap import TreeBitmap
+from repro.net.prefix import Prefix
+
+from tests.conftest import make_nexthops, tables
+
+NH = make_nexthops(3)
+A, B = NH[0], NH[1]
+
+
+def bp(bits: str, width: int = 8) -> Prefix:
+    return Prefix.from_bits(bits, width=width)
+
+
+class TestMemoryModel:
+    def test_empty_fib_is_initial_array_only(self):
+        fib = TreeBitmap(width=8, initial_stride=4, stride=4)
+        assert tbm_memory_bytes(fib) == 16 * 4
+
+    def test_nodes_cost_eight_bytes(self):
+        fib = TreeBitmap(width=8, initial_stride=4, stride=4)
+        fib.insert(bp("10110"), A)
+        assert tbm_memory_bytes(fib) == 16 * 4 + 8
+
+    def test_custom_model(self):
+        fib = TreeBitmap(width=8, initial_stride=4, stride=4)
+        fib.insert(bp("10110"), A)
+        model = MemoryModel(node_bytes=12, initial_entry_bytes=2, result_bytes=4)
+        assert model.total(fib) == 16 * 2 + 12 + 4
+
+    def test_aggregation_reduces_memory(self):
+        """The headline effect: fewer entries → fewer nodes → less memory."""
+        from repro.core.ortc import ortc
+
+        table = {bp(f"{i:05b}"): A for i in range(32)}
+        aggregated = ortc(table.items(), 8)
+        big = TreeBitmap.from_table(table, width=8, initial_stride=4, stride=4)
+        small = TreeBitmap.from_table(aggregated, width=8, initial_stride=4, stride=4)
+        assert tbm_memory_bytes(small) < tbm_memory_bytes(big)
+
+
+class TestLookupStats:
+    def test_empty_fib_single_access(self):
+        fib = TreeBitmap(width=8, initial_stride=4, stride=4)
+        assert average_lookup_accesses(fib) == 1.0
+        assert uniform_lookup_accesses(fib) == 1.0
+
+    def test_uniform_one_node_adds_its_fraction(self):
+        fib = TreeBitmap(width=8, initial_stride=4, stride=4)
+        fib.insert(bp("10110"), A)
+        # One node below one slot: visited by 2^-4 of the whole space.
+        assert uniform_lookup_accesses(fib) == 1.0 + 2.0**-4
+
+    def test_covered_weighting_counts_only_routed_space(self):
+        fib = TreeBitmap(width=8, initial_stride=4, stride=4)
+        fib.insert(bp("10110"), A)
+        # The only covered addresses all traverse the node: T = 2 exactly.
+        assert average_lookup_accesses(fib) == 2.0
+
+    def test_covered_mixed(self):
+        fib = TreeBitmap(width=8, initial_stride=4, stride=4)
+        fib.insert(bp("10110"), A)  # 8 covered addresses through a node
+        fib.insert(bp("01"), B)  # 64 covered addresses, initial array only
+        expected = 1.0 + 8 / 72
+        assert average_lookup_accesses(fib) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(table=tables(8, nexthop_count=3, max_size=25))
+    def test_uniform_matches_exhaustive(self, table):
+        fib = TreeBitmap.from_table(table, width=8, initial_stride=4, stride=4)
+        exhaustive = sum(fib.lookup_accesses(a) for a in range(256)) / 256
+        assert abs(uniform_lookup_accesses(fib) - exhaustive) < 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(table=tables(8, nexthop_count=3, max_size=25))
+    def test_covered_matches_exhaustive(self, table):
+        fib = TreeBitmap.from_table(table, width=8, initial_stride=4, stride=4)
+        covered = [a for a in range(256) if fib.lookup(a) != DROP]
+        if not covered:
+            assert average_lookup_accesses(fib) == 1.0
+            return
+        exhaustive = sum(fib.lookup_accesses(a) for a in covered) / len(covered)
+        assert abs(average_lookup_accesses(fib) - exhaustive) < 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(table=tables(8, nexthop_count=3, max_size=20))
+    def test_coverage_map_matches_bruteforce(self, table):
+        coverage = CoverageMap(table, 8)
+        covered = [
+            a
+            for a in range(256)
+            if any(
+                p.contains_address(a)
+                and table[max((q for q in table if q.contains_address(a)),
+                              key=lambda q: q.length)] != DROP
+                for p in table
+            )
+        ]
+        assert coverage.total_covered() == len(covered)
+        # Spot-check sub-regions at every alignment.
+        for length in (0, 2, 4, 7):
+            for value in range(0, 256, 1 << (8 - length)):
+                expected = sum(
+                    1 for a in covered if value <= a < value + (1 << (8 - length))
+                )
+                assert coverage.covered(value, length) == expected
+
+    def test_sampled_close_to_exact(self):
+        table = {bp("10110"): A, bp("01"): B, bp("111111"): A}
+        fib = TreeBitmap.from_table(table, width=8, initial_stride=4, stride=4)
+        exact = uniform_lookup_accesses(fib)
+        sampled = sampled_lookup_accesses(fib, samples=20000, seed=42)
+        assert abs(exact - sampled) < 0.05
+
+    def test_sampled_covered_close_to_exact(self):
+        table = {bp("10110"): A, bp("01"): B, bp("111111"): A}
+        fib = TreeBitmap.from_table(table, width=8, initial_stride=4, stride=4)
+        exact = average_lookup_accesses(fib)
+        sampled = sampled_lookup_accesses(
+            fib, samples=20000, seed=42, covered_only=True
+        )
+        assert abs(exact - sampled) < 0.05
+
+
+class TestStrideSelection:
+    def test_valid_configurations_tile(self):
+        for config in valid_configurations(32):
+            assert (32 - config.initial_stride) % config.stride == 0
+
+    def test_selection_minimizes_memory(self):
+        table = {bp("10110"): A, bp("11"): B}
+        candidates = [TbmConfig(4, 4), TbmConfig(4, 2)]
+        config, fib = select_configuration(
+            table, width=8, candidates=candidates
+        )
+        costs = {
+            c: tbm_memory_bytes(c.build(table, 8)) for c in candidates
+        }
+        assert tbm_memory_bytes(fib) == min(costs.values())
+        assert costs[config] == min(costs.values())
+
+    def test_rejects_empty_candidates(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            select_configuration({}, width=8, candidates=[])

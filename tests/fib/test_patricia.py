@@ -1,0 +1,154 @@
+"""Tests for the path-compressed Patricia FIB."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fib.linear import LinearFib
+from repro.fib.patricia import PatriciaFib, _common_prefix
+from repro.net.nexthop import DROP
+from repro.net.prefix import Prefix
+
+from tests.conftest import make_nexthops, prefixes, tables
+
+NH = make_nexthops(4)
+A, B = NH[0], NH[1]
+
+
+def bp(bits: str, width: int = 8) -> Prefix:
+    return Prefix.from_bits(bits, width=width)
+
+
+class TestCommonPrefix:
+    def test_basic(self):
+        assert _common_prefix(bp("1010"), bp("1001")) == bp("10")
+        assert _common_prefix(bp("1010"), bp("10")) == bp("10")
+        assert _common_prefix(bp("0"), bp("1")) == Prefix.root(8)
+
+    @given(a=prefixes(8), b=prefixes(8))
+    def test_is_prefix_of_both_and_maximal(self, a, b):
+        common = _common_prefix(a, b)
+        assert common.contains(a) and common.contains(b)
+        if common.length < min(a.length, b.length):
+            assert a.bit(common.length) != b.bit(common.length)
+
+
+class TestStructure:
+    def test_single_entry(self):
+        fib = PatriciaFib(width=8)
+        fib.insert(bp("10110"), A)
+        assert len(fib) == 1
+        assert fib.node_count() == 1  # path compression: no chain nodes
+
+    def test_split_creates_one_branch(self):
+        fib = PatriciaFib(width=8)
+        fib.insert(bp("10110"), A)
+        fib.insert(bp("10100"), B)
+        # Two entries + one branch at their divergence point (1010).
+        assert fib.node_count() == 3
+
+    def test_node_count_bounded(self):
+        fib = PatriciaFib(width=8)
+        for i in range(16):
+            fib.insert(Prefix(i << 4, 4, 8), NH[i % 4])
+        assert fib.node_count() <= 2 * len(fib) - 1
+
+    def test_overwrite_keeps_count(self):
+        fib = PatriciaFib(width=8)
+        fib.insert(bp("1"), A)
+        fib.insert(bp("1"), B)
+        assert len(fib) == 1
+        assert fib.lookup(0b10000000) == B
+
+    def test_delete_compacts(self):
+        fib = PatriciaFib(width=8)
+        fib.insert(bp("10110"), A)
+        fib.insert(bp("10100"), B)
+        fib.delete(bp("10100"))
+        assert fib.node_count() == 1  # branch spliced out
+        assert fib.lookup(0b10110000) == A
+        fib.delete(bp("10110"))
+        assert fib.node_count() == 0 and len(fib) == 0
+
+    def test_delete_missing_raises(self):
+        import pytest
+
+        fib = PatriciaFib(width=8)
+        fib.insert(bp("10"), A)
+        with pytest.raises(KeyError):
+            fib.delete(bp("11"))
+        with pytest.raises(KeyError):
+            fib.delete(bp("1011"))
+
+    def test_delete_branch_prefix_raises(self):
+        import pytest
+
+        fib = PatriciaFib(width=8)
+        fib.insert(bp("10110"), A)
+        fib.insert(bp("10100"), B)
+        with pytest.raises(KeyError):
+            fib.delete(bp("1010"))  # a branch node, not an entry
+
+
+class TestLookup:
+    def test_nested_entries(self):
+        fib = PatriciaFib(width=8)
+        fib.insert(bp("1"), A)
+        fib.insert(bp("101"), B)
+        assert fib.lookup(0b10100000) == B
+        assert fib.lookup(0b11000000) == A
+        assert fib.lookup(0b01000000) == DROP
+
+    @settings(max_examples=200, deadline=None)
+    @given(table=tables(8, nexthop_count=4, max_size=30), address=st.integers(0, 255))
+    def test_matches_linear_oracle(self, table, address):
+        fib = PatriciaFib.from_table(table, width=8)
+        oracle = LinearFib.from_table(table, width=8)
+        assert fib.lookup(address) == oracle.lookup(address)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        table=tables(8, nexthop_count=3, max_size=24),
+        victims=st.integers(min_value=0, max_value=12),
+    )
+    def test_incremental_deletes_match_rebuild(self, table, victims):
+        fib = PatriciaFib.from_table(table, width=8)
+        remaining = dict(table)
+        for prefix in list(table)[:victims]:
+            fib.delete(prefix)
+            del remaining[prefix]
+        rebuilt = PatriciaFib.from_table(remaining, width=8)
+        for address in range(256):
+            assert fib.lookup(address) == rebuilt.lookup(address)
+        assert len(fib) == len(remaining)
+
+    @settings(max_examples=60, deadline=None)
+    @given(table=tables(8, nexthop_count=3, max_size=24))
+    def test_entries_roundtrip(self, table):
+        fib = PatriciaFib.from_table(table, width=8)
+        assert fib.entries() == dict(table)
+
+
+class TestMemoryModel:
+    def test_memory_model_by_node_kind(self):
+        fib = PatriciaFib(width=8)
+        assert fib.memory_bytes() == 0
+        fib.insert(bp("10110"), A)
+        assert fib.memory_bytes() == 16  # one entry node
+        fib.insert(bp("01"), B)
+        # Two entries diverging under a root branch node.
+        assert fib.node_count() == 3
+        assert fib.memory_bytes() == 2 * 16 + 12
+
+    def test_aggregation_savings_are_one_to_one(self):
+        """Patricia memory ∝ entries: ORTC's entry savings carry over
+        fully, unlike Tree Bitmap where structure sharing damps them."""
+        from repro.core.ortc import ortc
+
+        table = {Prefix(i << 3, 5, 8): A for i in range(32)}
+        aggregated = ortc(table.items(), 8)
+        big = PatriciaFib.from_table(table, width=8)
+        small = PatriciaFib.from_table(aggregated, width=8)
+        ratio = small.memory_bytes() / big.memory_bytes()
+        assert ratio <= len(aggregated) / len(table) * 1.05

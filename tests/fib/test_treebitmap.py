@@ -1,0 +1,163 @@
+"""Tests for the Tree Bitmap FIB: lookup correctness, updates, pruning."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fib.linear import LinearFib
+from repro.fib.treebitmap import TreeBitmap, _heap_position
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+from tests.conftest import make_nexthops, tables
+
+NH = make_nexthops(4)
+A, B = NH[0], NH[1]
+
+
+def bp(bits: str, width: int = 8) -> Prefix:
+    return Prefix.from_bits(bits, width=width)
+
+
+def small_fib() -> TreeBitmap:
+    return TreeBitmap(width=8, initial_stride=4, stride=4)
+
+
+class TestConstruction:
+    def test_rejects_untileable_strides(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TreeBitmap(width=8, initial_stride=3, stride=4)
+        with pytest.raises(ValueError):
+            TreeBitmap(width=8, initial_stride=0, stride=4)
+        with pytest.raises(ValueError):
+            TreeBitmap(width=8, initial_stride=4, stride=0)
+
+    def test_heap_positions(self):
+        # Heap order: length 0 at 0; length 1 at 1..2; length 2 at 3..6 ...
+        assert _heap_position(0, 0) == 0
+        assert _heap_position(1, 0) == 1
+        assert _heap_position(1, 1) == 2
+        assert _heap_position(2, 3) == 6
+        assert _heap_position(3, 7) == 14
+
+    def test_empty_lookup_is_drop(self):
+        assert small_fib().lookup(0x42) == DROP
+
+
+class TestShortPrefixes:
+    def test_initial_array_result(self):
+        fib = small_fib()
+        fib.insert(bp("10"), A)
+        assert fib.lookup(0b10000000) == A
+        assert fib.lookup(0b11000000) == DROP
+        assert fib.node_count() == 0  # short prefixes need no nodes
+
+    def test_longer_short_prefix_wins(self):
+        fib = small_fib()
+        fib.insert(bp("1"), A)
+        fib.insert(bp("10"), B)
+        assert fib.lookup(0b10000000) == B
+        assert fib.lookup(0b11000000) == A
+
+    def test_short_delete_restores_cover(self):
+        fib = small_fib()
+        fib.insert(bp("1"), A)
+        fib.insert(bp("10"), B)
+        fib.delete(bp("10"))
+        assert fib.lookup(0b10000000) == A
+
+
+class TestLongPrefixes:
+    def test_node_created(self):
+        fib = small_fib()
+        fib.insert(bp("10110"), A)
+        assert fib.node_count() == 1
+        assert fib.lookup(0b10110111) == A
+        assert fib.lookup(0b10100000) == DROP
+
+    def test_boundary_length_descends(self):
+        # An /8 in an 8-bit space (4+4): stored at position 0 of a
+        # second-level node.
+        fib = small_fib()
+        host = Prefix.of_address(0xAB, width=8)
+        fib.insert(host, A)
+        assert fib.node_count() == 2
+        assert fib.lookup(0xAB) == A
+        assert fib.lookup(0xAA) == DROP
+
+    def test_delete_prunes_nodes(self):
+        fib = small_fib()
+        fib.insert(bp("10110"), A)
+        fib.insert(bp("1011"), B)
+        fib.delete(bp("10110"))
+        assert fib.lookup(0b10110000) == B
+        fib.delete(bp("1011"))
+        assert fib.node_count() == 0
+
+    def test_missing_delete_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            small_fib().delete(bp("10110"))
+
+    def test_overwrite(self):
+        fib = small_fib()
+        fib.insert(bp("101101"), A)
+        fib.insert(bp("101101"), B)
+        assert fib.lookup(0b10110100) == B
+        assert len(fib) == 1
+
+
+class TestAgainstOracle:
+    @settings(max_examples=200, deadline=None)
+    @given(table=tables(8, nexthop_count=4, max_size=30), address=st.integers(0, 255))
+    def test_lookup_matches_linear(self, table, address):
+        fib = TreeBitmap.from_table(table, width=8, initial_stride=4, stride=4)
+        oracle = LinearFib.from_table(table, width=8)
+        assert fib.lookup(address) == oracle.lookup(address)
+
+    @settings(max_examples=100, deadline=None)
+    @given(table=tables(8, nexthop_count=3, max_size=20))
+    def test_exhaustive_small_space(self, table):
+        fib = TreeBitmap.from_table(table, width=8, initial_stride=4, stride=4)
+        oracle = LinearFib.from_table(table, width=8)
+        for address in range(256):
+            assert fib.lookup(address) == oracle.lookup(address)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        table=tables(8, nexthop_count=3, max_size=20),
+        victims=st.integers(min_value=0, max_value=10),
+    )
+    def test_incremental_deletes_match_rebuild(self, table, victims):
+        fib = TreeBitmap.from_table(table, width=8, initial_stride=4, stride=4)
+        remaining = dict(table)
+        for prefix in list(table)[:victims]:
+            fib.delete(prefix)
+            del remaining[prefix]
+        rebuilt = TreeBitmap.from_table(remaining, width=8, initial_stride=4, stride=4)
+        for address in range(256):
+            assert fib.lookup(address) == rebuilt.lookup(address)
+        assert fib.node_count() == rebuilt.node_count()
+
+    def test_ipv4_width(self):
+        table = {
+            Prefix.from_string("10.0.0.0/8"): A,
+            Prefix.from_string("10.1.0.0/16"): B,
+            Prefix.from_string("192.168.1.0/24"): A,
+            Prefix.from_string("192.168.1.128/25"): B,
+        }
+        fib = TreeBitmap.from_table(table, width=32, initial_stride=12, stride=4)
+        oracle = LinearFib.from_table(table, width=32)
+        probes = [
+            (10 << 24) + 5,
+            (10 << 24) + (1 << 16) + 9,
+            (192 << 24) + (168 << 16) + (1 << 8) + 3,
+            (192 << 24) + (168 << 16) + (1 << 8) + 200,
+            (172 << 24),
+        ]
+        for address in probes:
+            assert fib.lookup(address) == oracle.lookup(address)

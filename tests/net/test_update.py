@@ -1,0 +1,76 @@
+"""Tests for RouteUpdate and UpdateTrace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate, UpdateKind, UpdateTrace
+
+P = Prefix.from_string("10.0.0.0/8")
+NH = Nexthop(0)
+
+
+class TestRouteUpdate:
+    def test_announce(self):
+        u = RouteUpdate.announce(P, NH, timestamp=1.5)
+        assert u.kind is UpdateKind.ANNOUNCE and u.is_announce
+        assert u.nexthop == NH and u.timestamp == 1.5
+
+    def test_withdraw(self):
+        u = RouteUpdate.withdraw(P)
+        assert u.kind is UpdateKind.WITHDRAW and not u.is_announce
+        assert u.nexthop is None
+
+    def test_announce_requires_nexthop(self):
+        with pytest.raises(ValueError):
+            RouteUpdate(UpdateKind.ANNOUNCE, P)
+
+    def test_withdraw_rejects_nexthop(self):
+        with pytest.raises(ValueError):
+            RouteUpdate(UpdateKind.WITHDRAW, P, NH)
+
+    def test_frozen(self):
+        u = RouteUpdate.withdraw(P)
+        with pytest.raises(AttributeError):
+            u.timestamp = 2.0
+
+
+class TestUpdateTrace:
+    def make_trace(self) -> UpdateTrace:
+        trace = UpdateTrace(name="t")
+        trace.append(RouteUpdate.announce(P, NH, timestamp=0.0))
+        trace.append(RouteUpdate.withdraw(P, timestamp=2.0))
+        trace.append(RouteUpdate.announce(P, NH, timestamp=5.0))
+        return trace
+
+    def test_counts(self):
+        trace = self.make_trace()
+        assert len(trace) == 3
+        assert trace.announce_count == 2
+        assert trace.withdraw_count == 1
+
+    def test_duration_and_prefixes(self):
+        trace = self.make_trace()
+        assert trace.duration == 5.0
+        assert trace.touched_prefixes() == {P}
+
+    def test_iteration_and_indexing(self):
+        trace = self.make_trace()
+        assert list(trace)[0] is trace[0]
+        assert trace[-1].timestamp == 5.0
+
+    def test_summary(self):
+        summary = self.make_trace().summary()
+        assert summary["updates"] == 3
+        assert summary["unique_prefixes"] == 1
+
+    def test_empty_trace(self):
+        trace = UpdateTrace()
+        assert trace.duration == 0.0 and len(trace) == 0
+
+    def test_extend(self):
+        trace = UpdateTrace()
+        trace.extend([RouteUpdate.withdraw(P), RouteUpdate.withdraw(P)])
+        assert trace.withdraw_count == 2

@@ -1,0 +1,161 @@
+"""End-to-end integration: the whole stack on a realistic trace.
+
+Replays an IGR-style scenario through BGP sessions → best path → zebra
+(+SMALTA) → a Tree-Bitmap-backed kernel, with snapshots firing from a
+policy, then verifies the kernel forwards *every probed address* exactly
+like the RIB would — the property the paper's TaCo validation stands for,
+applied to the complete system rather than the tables in isolation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bgp.attributes import PathAttributes
+from repro.core.equivalence import semantically_equivalent
+from repro.core.policy import GrowthSnapshotPolicy, PeriodicUpdateCountPolicy
+from repro.net.nexthop import DROP, NexthopRegistry
+from repro.net.update import UpdateKind
+from repro.router.kernel import KernelFib
+from repro.router.pipeline import RouterPipeline
+from repro.workloads.synthetic_table import TableProfile, generate_table
+from repro.workloads.synthetic_updates import generate_update_trace
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    rng = random.Random(99)
+    registry = NexthopRegistry()
+    nexthops = registry.create_many(6)
+    profile = TableProfile(width=16)
+    table = generate_table(800, nexthops, rng, profile=profile)
+    trace = generate_update_trace(table, 1500, nexthops, rng)
+    return table, trace, nexthops
+
+
+class TestFullStack:
+    def test_tbm_kernel_tracks_rib_through_churn(self, scenario):
+        table, trace, _ = scenario
+        kernel = KernelFib(width=16, backing="treebitmap", initial_stride=4)
+        pipeline = RouterPipeline(
+            width=16,
+            policy=PeriodicUpdateCountPolicy(400),
+            kernel=kernel,
+        )
+        pipeline.load_table(table)
+        pipeline.end_of_rib()
+        stats = pipeline.run_trace(trace)
+
+        assert stats.updates_processed == len(trace)
+        assert stats.snapshots >= 3
+        assert pipeline.kernel_matches_rib()
+
+        # The Tree Bitmap inside the kernel answers identically to the
+        # kernel's own table — the download stream kept it coherent.
+        rng = random.Random(3)
+        ot = pipeline.zebra.manager.state
+        for _ in range(2000):
+            address = rng.getrandbits(16)
+            assert kernel.tbm.lookup(address) == ot.trie.lookup_ot(address)
+
+    def test_growth_policy_full_stack(self, scenario):
+        table, trace, _ = scenario
+        pipeline = RouterPipeline(width=16, policy=GrowthSnapshotPolicy(0.05))
+        pipeline.load_table(table)
+        pipeline.end_of_rib()
+        pipeline.run_trace(trace)
+        assert pipeline.kernel_matches_rib()
+
+    def test_aggregated_vs_passthrough_kernels_agree(self, scenario):
+        """Two routers fed the same stream — one aggregating, one not —
+        must forward identically at every point probed."""
+        table, trace, _ = scenario
+        aggregating = RouterPipeline(width=16)
+        plain = RouterPipeline(width=16, smalta_enabled=False)
+        for pipeline in (aggregating, plain):
+            pipeline.load_table(table)
+            pipeline.end_of_rib()
+        for update in trace:
+            aggregating.zebra.apply_update(update)
+            plain.zebra.apply_update(update)
+        assert semantically_equivalent(
+            aggregating.zebra.kernel.table(), plain.zebra.kernel.table(), 16
+        )
+        assert len(aggregating.zebra.kernel) < len(plain.zebra.kernel)
+
+    def test_bgp_sessions_drive_smalta_startup(self):
+        registry = NexthopRegistry()
+        peers = registry.create_many(3, prefix="peer")
+        rng = random.Random(5)
+        profile = TableProfile(width=16)
+        base = generate_table(300, peers, rng, profile=profile)
+
+        pipeline = RouterPipeline(width=16)
+        for peer in peers:
+            pipeline.add_peer(peer)
+        for prefix, owner in base.items():
+            pipeline.announce(owner, prefix, PathAttributes(as_path=(1,)))
+            backup = peers[(peers.index(owner) + 1) % len(peers)]
+            pipeline.announce(backup, prefix, PathAttributes(as_path=(1, 2)))
+
+        # No FIB downloads before all End-of-RIBs (Section 2).
+        assert len(pipeline.zebra.kernel) == 0
+        for peer in peers[:-1]:
+            pipeline.peer_end_of_rib(peer)
+        assert len(pipeline.zebra.kernel) == 0
+        pipeline.peer_end_of_rib(peers[-1])
+        assert len(pipeline.zebra.kernel) > 0
+        assert pipeline.kernel_matches_rib()
+
+        # A session drop fails everything over to the backups, correctly.
+        pipeline.drop_peer(peers[0])
+        assert pipeline.kernel_matches_rib()
+        survivors = set(pipeline.zebra.manager.state.ot_table().values())
+        assert peers[0] not in survivors
+
+
+class TestFailureInjection:
+    def test_kernel_survives_pathological_download_order(self):
+        from repro.core.downloads import FibDownload
+        from repro.net.prefix import Prefix
+
+        kernel = KernelFib(width=8)
+        prefix = Prefix.from_bits("10", width=8)
+        kernel.apply(FibDownload.delete(prefix))  # delete before insert
+        kernel.apply(FibDownload.insert(prefix, make_nexthop()))
+        kernel.apply(FibDownload.delete(prefix))
+        kernel.apply(FibDownload.delete(prefix))  # double delete
+        assert kernel.failed_uninstalls == 2
+        assert len(kernel) == 0
+
+    def test_trace_with_duplicate_withdraws_is_harmless(self, scenario):
+        table, trace, _ = scenario
+        pipeline = RouterPipeline(width=16)
+        pipeline.load_table(table)
+        pipeline.end_of_rib()
+        withdraws = [u for u in trace if u.kind is UpdateKind.WITHDRAW][:20]
+        for update in withdraws:
+            pipeline.zebra.apply_update(update)
+            pipeline.zebra.apply_update(update)  # duplicate
+        assert pipeline.kernel_matches_rib()
+
+    def test_lookup_of_unrouted_space_is_drop_everywhere(self, scenario):
+        table, _, _ = scenario
+        kernel = KernelFib(width=16, backing="treebitmap", initial_stride=4)
+        pipeline = RouterPipeline(width=16, kernel=kernel)
+        pipeline.load_table(table)
+        pipeline.end_of_rib()
+        ot = pipeline.zebra.manager.state
+        rng = random.Random(8)
+        for _ in range(500):
+            address = rng.getrandbits(16)
+            if ot.trie.lookup_ot(address) == DROP:
+                assert kernel.lookup(address) == DROP
+
+
+def make_nexthop():
+    from repro.net.nexthop import Nexthop
+
+    return Nexthop(0)

@@ -1,0 +1,141 @@
+"""Tests for the multi-router forwarding simulation and loop analysis."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import level1, level2, level3, level4
+from repro.core.ortc import ortc
+from repro.net.nexthop import Nexthop, NexthopRegistry
+from repro.net.prefix import Prefix
+from repro.netsim import (
+    EGRESS,
+    Network,
+    Outcome,
+    aggregate_network,
+    build_two_border_scenario,
+    loop_census,
+    trace_path,
+)
+from repro.netsim.forwarding import probe_addresses
+
+
+def bp(bits: str) -> Prefix:
+    return Prefix.from_bits(bits, width=8)
+
+
+def tiny_network() -> tuple[Network, Nexthop, Nexthop]:
+    registry = NexthopRegistry()
+    to_b = registry.create("a->b")
+    to_a = registry.create("b->a")
+    network = Network(width=8)
+    network.add_router("A")
+    network.add_router("B")
+    network.link("A", "B", to_b, to_a)
+    return network, to_b, to_a
+
+
+class TestNetwork:
+    def test_duplicate_router_rejected(self):
+        network = Network(width=8)
+        network.add_router("A")
+        with pytest.raises(ValueError):
+            network.add_router("A")
+
+    def test_link_requires_routers(self):
+        network = Network(width=8)
+        network.add_router("A")
+        with pytest.raises(KeyError):
+            network.link("A", "B", Nexthop(0), Nexthop(1))
+
+    def test_connectivity_and_paths(self):
+        network, _, _ = tiny_network()
+        assert network.is_connected()
+        assert network.shortest_path("A", "B") == ["A", "B"]
+
+    def test_width_enforced(self):
+        network, _, _ = tiny_network()
+        with pytest.raises(ValueError):
+            network.router("A").install(Prefix.from_string("10.0.0.0/8"), EGRESS)
+
+
+class TestTracing:
+    def test_delivery(self):
+        network, to_b, _ = tiny_network()
+        network.router("A").install(bp("1"), to_b)
+        network.router("B").install(bp("1"), EGRESS)
+        result = trace_path(network, "A", 0b10000000)
+        assert result.outcome is Outcome.DELIVERED
+        assert result.path == ("A", "B")
+
+    def test_drop_on_no_route(self):
+        network, _, _ = tiny_network()
+        result = trace_path(network, "A", 0x42)
+        assert result.outcome is Outcome.DROPPED
+
+    def test_two_router_loop_detected(self):
+        network, to_b, to_a = tiny_network()
+        network.router("A").install(bp("1"), to_b)
+        network.router("B").install(bp("1"), to_a)
+        result = trace_path(network, "A", 0b10000000)
+        assert result.outcome is Outcome.LOOP
+        assert result.path == ("A", "B", "A")
+
+    def test_blackhole_on_unmapped_nexthop(self):
+        network, _, _ = tiny_network()
+        stranger = Nexthop(77, "unmapped")
+        network.router("A").install(bp("1"), stranger)
+        assert trace_path(network, "A", 0b10000000).outcome is Outcome.BLACKHOLE
+
+    def test_probe_addresses_cover_boundaries(self):
+        network, to_b, _ = tiny_network()
+        network.router("A").install(bp("101"), to_b)
+        probes = probe_addresses(network)
+        assert 0 in probes
+        assert 0b10100000 in probes  # first address of 101/3
+        assert 0b11000000 in probes  # first address after 101/3
+
+
+class TestLoopAnalysis:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_two_border_scenario(random.Random(11), prefix_count=400)
+
+    def test_exact_network_never_loops(self, scenario):
+        census = loop_census(scenario)
+        assert census[Outcome.LOOP] == 0
+        assert census[Outcome.BLACKHOLE] == 0
+        assert census[Outcome.DELIVERED] > 0
+
+    @pytest.mark.parametrize("scheme", [ortc, level1, level2], ids=["ortc", "L1", "L2"])
+    def test_exact_schemes_preserve_outcomes(self, scenario, scheme):
+        aggregated = aggregate_network(scenario, scheme)
+        probes = probe_addresses(scenario, aggregated)
+        assert loop_census(aggregated, addresses=probes) == loop_census(
+            scenario, addresses=probes
+        )
+
+    @pytest.mark.parametrize("scheme", [level3, level4], ids=["L3", "L4"])
+    def test_whiteholing_creates_loops(self, scenario, scheme):
+        """The paper's warning, demonstrated: whiteholed FIBs loop."""
+        aggregated = aggregate_network(scenario, scheme)
+        census = loop_census(aggregated)
+        assert census[Outcome.LOOP] > 0
+
+    def test_whiteholing_safe_without_peer_default(self):
+        """Without the stub-default back-path the same whiteholing merely
+        mis-delivers — no loops. The default is the loop ingredient."""
+        scenario = build_two_border_scenario(
+            random.Random(11), prefix_count=400, peer_default=False
+        )
+        aggregated = aggregate_network(scenario, level4)
+        assert loop_census(aggregated)[Outcome.LOOP] == 0
+
+    def test_aggregation_shrinks_fibs(self, scenario):
+        aggregated = aggregate_network(scenario, ortc)
+        for name in scenario.names():
+            assert len(aggregated.router(name).table) < len(
+                scenario.router(name).table
+            )

@@ -1,0 +1,212 @@
+"""Integration tests for the kernel / zebra / pipeline / CLI stack."""
+
+from __future__ import annotations
+
+import random
+
+from repro.bgp.attributes import PathAttributes
+from repro.core.downloads import FibDownload
+from repro.core.equivalence import semantically_equivalent
+from repro.core.policy import PeriodicUpdateCountPolicy
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate
+from repro.router.cli import RouterCli
+from repro.router.kernel import KernelFib
+from repro.router.pipeline import RouterPipeline
+from repro.router.zebra import Zebra
+
+from tests.conftest import make_nexthops
+
+NH = make_nexthops(6)
+A, B = NH[0], NH[1]
+
+
+def bp(bits: str) -> Prefix:
+    return Prefix.from_bits(bits, width=8)
+
+
+class TestKernelFib:
+    def test_apply_and_lookup(self):
+        kernel = KernelFib(width=8)
+        kernel.apply(FibDownload.insert(bp("10"), A))
+        assert kernel.lookup(0b10000000) == A
+        assert kernel.installs == 1
+
+    def test_failed_uninstall_counted(self):
+        kernel = KernelFib(width=8)
+        kernel.apply(FibDownload.delete(bp("10")))
+        assert kernel.failed_uninstalls == 1
+        assert len(kernel) == 0
+
+    def test_treebitmap_backing_agrees(self):
+        dict_kernel = KernelFib(width=8)
+        tbm_kernel = KernelFib(width=8, backing="treebitmap", initial_stride=4)
+        downloads = [
+            FibDownload.insert(bp("10"), A),
+            FibDownload.insert(bp("1011"), B),
+            FibDownload.delete(bp("10")),
+        ]
+        dict_kernel.apply_all(downloads)
+        tbm_kernel.apply_all(downloads)
+        for address in range(256):
+            assert dict_kernel.lookup(address) == tbm_kernel.lookup(address)
+        assert tbm_kernel.tbm is not None
+
+
+class TestZebra:
+    def make_loaded_zebra(self, enabled: bool = True) -> Zebra:
+        zebra = Zebra(width=8, smalta_enabled=enabled)
+        zebra.rib_install_kernel(bp("10"), A)
+        zebra.rib_install_kernel(bp("11"), A)
+        zebra.rib_install_kernel(bp("0"), B)
+        zebra.end_of_rib()
+        return zebra
+
+    def test_aggregated_kernel(self):
+        zebra = self.make_loaded_zebra()
+        # 10->A and 11->A merge; kernel must be smaller than the RIB.
+        assert len(zebra.kernel) < zebra.manager.ot_size
+        assert semantically_equivalent(
+            zebra.manager.state.ot_table(), zebra.kernel.table(), 8
+        )
+
+    def test_passthrough_kernel(self):
+        zebra = self.make_loaded_zebra(enabled=False)
+        assert zebra.kernel.table() == zebra.manager.state.ot_table()
+
+    def test_uninstall_flows_through(self):
+        zebra = self.make_loaded_zebra()
+        zebra.rib_uninstall_kernel(bp("10"))
+        assert semantically_equivalent(
+            zebra.manager.state.ot_table(), zebra.kernel.table(), 8
+        )
+
+    def test_enable_disable_roundtrip(self):
+        zebra = self.make_loaded_zebra(enabled=False)
+        before = zebra.kernel.table()
+        zebra.enable_smalta()
+        assert len(zebra.kernel) < len(before)
+        assert semantically_equivalent(before, zebra.kernel.table(), 8)
+        zebra.disable_smalta()
+        assert zebra.kernel.table() == before
+
+    def test_enable_idempotent(self):
+        zebra = self.make_loaded_zebra()
+        assert zebra.enable_smalta() == []
+        zebra.disable_smalta()
+        assert zebra.disable_smalta() == []
+
+
+class TestPipeline:
+    def test_bgp_to_kernel_flow(self):
+        pipeline = RouterPipeline(width=8)
+        peers = NH[2:5]
+        for peer in peers:
+            pipeline.add_peer(peer)
+        pipeline.announce(peers[0], bp("10"), PathAttributes(as_path=(1,)))
+        pipeline.announce(peers[1], bp("10"), PathAttributes(as_path=(1, 2)))
+        pipeline.announce(peers[2], bp("0"))
+        for peer in peers:
+            pipeline.peer_end_of_rib(peer)
+        assert pipeline.kernel_matches_rib()
+        # Best path for 10/2 is peers[0] (shorter AS path).
+        assert pipeline.zebra.manager.state.ot_table()[bp("10")] == peers[0]
+
+    def test_igp_mapping_applied(self):
+        igp = NH[4:6]
+        pipeline = RouterPipeline(width=8, igp_nexthops=igp)
+        peer = NH[2]
+        pipeline.add_peer(peer)
+        pipeline.announce(peer, bp("10"))
+        pipeline.peer_end_of_rib(peer)
+        table = pipeline.zebra.manager.state.ot_table()
+        assert table[bp("10")] in igp
+
+    def test_trace_replay_with_snapshots(self, rng: random.Random):
+        from repro.workloads.synthetic_table import TableProfile, generate_table
+        from repro.workloads.synthetic_updates import generate_update_trace
+
+        nexthops = NH[:4]
+        profile = TableProfile(width=8)
+        table = generate_table(120, nexthops, rng, profile=profile)
+        trace = generate_update_trace(table, 400, nexthops, rng)
+        pipeline = RouterPipeline(width=8, policy=PeriodicUpdateCountPolicy(100))
+        pipeline.load_table(table)
+        pipeline.end_of_rib()
+        stats = pipeline.run_trace(trace)
+        assert stats.updates_processed == 400
+        assert stats.snapshots >= 4
+        assert stats.delayed_updates == stats.snapshots
+        assert pipeline.kernel_matches_rib()
+
+    def test_graceful_peer_drop_is_fib_silent(self):
+        pipeline = RouterPipeline(width=8)
+        peers = NH[2:4]
+        for peer in peers:
+            pipeline.add_peer(peer)
+        pipeline.announce(peers[0], bp("10"))
+        pipeline.announce(peers[1], bp("0"))
+        for peer in peers:
+            pipeline.peer_end_of_rib(peer)
+        kernel_before = pipeline.zebra.kernel.table()
+        pipeline.drop_peer_graceful(peers[0], timestamp=0.0)
+        # Graceful Restart: forwarding preserved, zero FIB churn.
+        assert pipeline.zebra.kernel.table() == kernel_before
+        # The restart timer lapses without the peer returning: flush.
+        pipeline.expire_graceful(timestamp=1_000.0)
+        assert pipeline.kernel_matches_rib()
+        assert bp("10") not in pipeline.zebra.manager.state.ot_table()
+
+    def test_peer_drop(self):
+        pipeline = RouterPipeline(width=8)
+        peers = NH[2:4]
+        for peer in peers:
+            pipeline.add_peer(peer)
+        pipeline.announce(peers[0], bp("10"))
+        pipeline.announce(peers[1], bp("10"), PathAttributes(as_path=(1, 2, 3)))
+        for peer in peers:
+            pipeline.peer_end_of_rib(peer)
+        pipeline.drop_peer(peers[0])
+        assert pipeline.kernel_matches_rib()
+        assert pipeline.zebra.manager.state.ot_table()[bp("10")] == peers[1]
+
+
+class TestCli:
+    def make_cli(self) -> RouterCli:
+        zebra = Zebra(width=8, smalta_enabled=True)
+        zebra.rib_install_kernel(bp("10"), A)
+        zebra.rib_install_kernel(bp("11"), A)
+        zebra.end_of_rib()
+        return RouterCli(zebra)
+
+    def test_help_lists_commands(self):
+        cli = self.make_cli()
+        assert "smalta enable" in cli.execute("help")
+
+    def test_status(self):
+        cli = self.make_cli()
+        output = cli.execute("show smalta status")
+        assert "enabled" in output
+        assert "original tree entries:   2" in output
+
+    def test_fib_summary_and_dump(self):
+        cli = self.make_cli()
+        assert "kernel FIB: 1 entries" in cli.execute("show fib summary")
+        assert "->" in cli.execute("show fib")
+
+    def test_snapshot_command(self):
+        cli = self.make_cli()
+        assert "snapshot complete" in cli.execute("smalta snapshot")
+
+    def test_enable_disable(self):
+        cli = self.make_cli()
+        assert "disabled" in cli.execute("smalta disable")
+        assert "SMALTA is disabled" == cli.execute("smalta snapshot")
+        assert "enabled" in cli.execute("smalta enable")
+
+    def test_unknown_command(self):
+        assert "unknown command" in self.make_cli().execute("reload in 5")
+
+    def test_whitespace_tolerant(self):
+        cli = self.make_cli()
+        assert "enabled" in cli.execute("  show   SMALTA   status ")

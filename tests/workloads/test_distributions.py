@@ -1,0 +1,124 @@
+"""Tests for entropy machinery and skewed nexthop assignment."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.distributions import (
+    assign_skewed_nexthops,
+    counts_for_effective,
+    effective_nexthops,
+    entropy_bits,
+    zipf_exponent_for_effective,
+    zipf_weights,
+)
+
+from tests.conftest import make_nexthops
+
+
+class TestEntropy:
+    def test_uniform_counts(self):
+        assert entropy_bits([5, 5, 5, 5]) == pytest.approx(2.0)
+        assert effective_nexthops([5, 5, 5, 5]) == pytest.approx(4.0)
+
+    def test_single_bucket(self):
+        assert entropy_bits([42]) == 0.0
+        assert effective_nexthops([42]) == pytest.approx(1.0)
+
+    def test_zeros_ignored(self):
+        assert entropy_bits([3, 0, 3]) == pytest.approx(1.0)
+
+    def test_empty_or_zero(self):
+        assert entropy_bits([]) == 0.0
+        assert entropy_bits([0, 0]) == 0.0
+
+    def test_paper_formula_example(self):
+        """AR-1-like skew: one dominant nexthop → E barely above 1."""
+        counts = [10_000] + [2] * 88
+        assert 1.0 < effective_nexthops(counts) < 1.5
+
+
+class TestZipf:
+    def test_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(10, 1.2)
+        assert math.isclose(sum(weights), 1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_exponent_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert all(math.isclose(w, 0.25) for w in weights)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        count=st.integers(min_value=2, max_value=200),
+        fraction=st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_exponent_search_hits_target(self, count, fraction):
+        target = 1.0 + fraction * (count - 1)
+        exponent = zipf_exponent_for_effective(count, target)
+        achieved = effective_nexthops(zipf_weights(count, exponent))
+        assert achieved == pytest.approx(target, rel=0.02)
+
+    def test_exponent_search_bounds(self):
+        with pytest.raises(ValueError):
+            zipf_exponent_for_effective(10, 0.5)
+        with pytest.raises(ValueError):
+            zipf_exponent_for_effective(10, 11.0)
+
+
+class TestCountsForEffective:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        total=st.integers(min_value=100, max_value=5000),
+        nexthop_count=st.integers(min_value=2, max_value=50),
+        fraction=st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_counts_sum_and_entropy(self, total, nexthop_count, fraction):
+        # The min-one-prefix-per-nexthop floor distorts the entropy when
+        # prefixes barely outnumber nexthops; real tables are far from
+        # that regime (42k+ prefixes over at most ~650 nexthops).
+        if total < nexthop_count * 30:
+            return
+        target = 1.0 + fraction * (nexthop_count - 1)
+        counts = counts_for_effective(total, nexthop_count, target)
+        assert sum(counts) == total
+        assert all(c >= 1 for c in counts)
+        achieved = effective_nexthops(counts)
+        assert achieved == pytest.approx(target, rel=0.35)
+
+    def test_table1_profiles_reachable(self):
+        """Every Table 1 (#NH, E) pair must be constructible."""
+        for nh, effective in [(89, 1.061), (419, 1.766), (25, 1.845), (9, 2.01), (652, 3.164)]:
+            counts = counts_for_effective(40_000, nh, effective)
+            assert sum(counts) == 40_000
+            achieved = effective_nexthops(counts)
+            assert achieved == pytest.approx(effective, rel=0.25)
+
+    def test_fewer_prefixes_than_nexthops(self):
+        counts = counts_for_effective(3, 5, 2.0)
+        assert sum(counts) == 3 and len(counts) == 5
+
+
+class TestAssignment:
+    def test_assignment_length_and_pool(self):
+        rng = random.Random(0)
+        nexthops = make_nexthops(6)
+        assignment = assign_skewed_nexthops(500, nexthops, 2.5, rng)
+        assert len(assignment) == 500
+        assert set(assignment) <= set(nexthops)
+
+    def test_assignment_entropy(self):
+        rng = random.Random(0)
+        nexthops = make_nexthops(10)
+        assignment = assign_skewed_nexthops(5000, nexthops, 3.0, rng)
+        counts = [assignment.count(nh) for nh in nexthops]
+        assert effective_nexthops(counts) == pytest.approx(3.0, rel=0.25)

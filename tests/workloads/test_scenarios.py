@@ -1,0 +1,141 @@
+"""Tests for the provider/RouteViews scenario builders and trace IO."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.net.nexthop import NexthopRegistry
+from repro.net.update import UpdateKind
+from repro.workloads.distributions import effective_nexthops
+from repro.workloads.provider import (
+    AR_PROFILES,
+    IGR_PROFILE,
+    build_access_router_table,
+    build_igr_scenario,
+)
+from repro.workloads.routeviews import (
+    ROUTEVIEWS_TABLE_SIZES,
+    build_routeviews_scenario,
+)
+from repro.workloads.scale import scaled
+from repro.workloads.trace_io import load_table, load_trace, save_table, save_trace
+
+
+class TestProvider:
+    def test_ar_profiles_match_paper(self):
+        assert [p.name for p in AR_PROFILES] == [f"AR-{i}" for i in range(1, 6)]
+        assert AR_PROFILES[0].effective_nexthops == 1.061
+        assert AR_PROFILES[4].nexthop_count == 652
+
+    def test_ar_table_statistics(self, rng):
+        profile = AR_PROFILES[3]  # AR-4: 9 nexthops, E=2.01
+        table, nexthops = build_access_router_table(profile, rng)
+        assert len(nexthops) == profile.nexthop_count
+        assert len(table) == scaled(profile.table_size, minimum=50)
+        counts = Counter(table.values())
+        assert effective_nexthops(list(counts.values())) == pytest.approx(
+            profile.effective_nexthops, rel=0.3
+        )
+
+    def test_igr_scenario(self, rng):
+        table, trace, nexthops = build_igr_scenario(rng)
+        assert len(nexthops) == IGR_PROFILE.nexthop_count
+        assert len(table) == scaled(IGR_PROFILE.table_size, minimum=100)
+        assert len(trace) == scaled(IGR_PROFILE.update_count, minimum=100)
+
+    def test_registry_shared(self, rng):
+        registry = NexthopRegistry()
+        build_access_router_table(AR_PROFILES[3], rng, registry)
+        build_access_router_table(AR_PROFILES[2], rng, registry)
+        assert len(registry) == AR_PROFILES[3].nexthop_count + AR_PROFILES[2].nexthop_count
+
+
+class TestRouteViews:
+    def test_year_sizes(self):
+        assert ROUTEVIEWS_TABLE_SIZES[2006] == 220_821
+        assert sorted(ROUTEVIEWS_TABLE_SIZES) == list(range(2001, 2011))
+        sizes = [ROUTEVIEWS_TABLE_SIZES[y] for y in range(2001, 2011)]
+        assert sizes == sorted(sizes)  # monotone DFZ growth
+
+    def test_unknown_year_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_routeviews_scenario(1999, rng)
+
+    def test_scenario_structure(self, rng):
+        scenario = build_routeviews_scenario(2003, rng, peer_count=12)
+        assert len(scenario.peers) == 12
+        assert len(scenario.table_by_peer) == scaled(
+            ROUTEVIEWS_TABLE_SIZES[2003], minimum=100
+        )
+
+    def test_igp_mapping_cardinality(self, rng):
+        scenario = build_routeviews_scenario(2002, rng, peer_count=8)
+        for k in (1, 3, 8):
+            table, igp = scenario.with_igp_nexthops(k)
+            assert len(igp) == k
+            assert len(set(table.values())) <= k
+            assert len(table) == len(scenario.table_by_peer)
+
+    def test_single_igp_nexthop_single_value(self, rng):
+        scenario = build_routeviews_scenario(2001, rng, peer_count=4)
+        table, _ = scenario.with_igp_nexthops(1)
+        assert len(set(table.values())) == 1
+
+    def test_trace_mapping(self, rng):
+        scenario = build_routeviews_scenario(
+            2004, rng, peer_count=6, update_count=2000
+        )
+        mapped = scenario.igp_trace(2)
+        assert len(mapped) == len(scenario.trace_by_peer)
+        igp_names = {f"igp2004-2-{i}" for i in range(2)}
+        for update in mapped:
+            if update.kind is UpdateKind.ANNOUNCE:
+                assert update.nexthop.name in igp_names
+
+
+class TestTraceIO:
+    def test_table_roundtrip(self, rng, tmp_path):
+        from repro.workloads.synthetic_table import generate_table
+        from tests.conftest import make_nexthops
+
+        table = generate_table(200, make_nexthops(4), rng)
+        path = tmp_path / "table.txt"
+        save_table(table, path)
+        loaded, registry = load_table(path)
+        assert {str(p): str(nh) for p, nh in table.items()} == {
+            str(p): str(nh) for p, nh in loaded.items()
+        }
+
+    def test_trace_roundtrip(self, rng, tmp_path):
+        from repro.workloads.synthetic_table import generate_table
+        from repro.workloads.synthetic_updates import generate_update_trace
+        from tests.conftest import make_nexthops
+
+        nexthops = make_nexthops(4)
+        table = generate_table(300, nexthops, rng)
+        trace = generate_update_trace(table, 150, nexthops, rng)
+        path = tmp_path / "trace.txt"
+        save_trace(trace, path)
+        loaded, _ = load_trace(path)
+        assert len(loaded) == len(trace)
+        for original, read in zip(trace, loaded):
+            assert original.kind == read.kind
+            assert str(original.prefix) == str(read.prefix)
+            assert read.timestamp == pytest.approx(original.timestamp, abs=1e-5)
+
+    def test_bad_lines_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("T 10.0.0.0/8\n")
+        with pytest.raises(ValueError):
+            load_table(path)
+        path.write_text("X 1.0 10.0.0.0/8 nh0\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "table.txt"
+        path.write_text("# comment\n\nT 10.0.0.0/8 nh0\n")
+        table, _ = load_table(path)
+        assert len(table) == 1

@@ -1,0 +1,95 @@
+"""Tests for the synthetic routing-table generator."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.net.nexthop import DROP
+from repro.workloads.distributions import effective_nexthops
+from repro.workloads.synthetic_table import (
+    DFZ_LENGTH_SHARES,
+    TableProfile,
+    generate_table,
+)
+
+from tests.conftest import make_nexthops
+
+
+@pytest.fixture
+def nexthops():
+    return make_nexthops(8)
+
+
+class TestBasics:
+    def test_exact_size(self, rng, nexthops):
+        table = generate_table(1000, nexthops, rng)
+        assert len(table) == 1000
+
+    def test_empty(self, rng, nexthops):
+        assert generate_table(0, nexthops, rng) == {}
+
+    def test_requires_nexthops(self, rng):
+        with pytest.raises(ValueError):
+            generate_table(10, [], rng)
+
+    def test_rejects_negative(self, rng, nexthops):
+        with pytest.raises(ValueError):
+            generate_table(-1, nexthops, rng)
+
+    def test_no_drop_entries(self, rng, nexthops):
+        table = generate_table(500, nexthops, rng)
+        assert DROP not in table.values()
+
+    def test_deterministic_for_seed(self, nexthops):
+        t1 = generate_table(300, nexthops, random.Random(7))
+        t2 = generate_table(300, nexthops, random.Random(7))
+        assert t1 == t2
+
+
+class TestRealism:
+    def test_length_mix_is_slash24_heavy(self, rng, nexthops):
+        table = generate_table(20_000, nexthops, rng)
+        lengths = Counter(p.length for p in table)
+        share_24 = lengths[24] / len(table)
+        assert 0.35 < share_24 < 0.65
+        assert lengths[24] == max(lengths.values())
+
+    def test_lengths_at_most_24_dominant(self, rng, nexthops):
+        table = generate_table(5000, nexthops, rng)
+        assert all(1 <= p.length <= 24 for p in table)
+
+    def test_first_octet_unicast(self, rng, nexthops):
+        table = generate_table(5000, nexthops, rng)
+        for prefix in table:
+            if prefix.length >= 8:
+                first_octet = prefix.value >> 24
+                assert 1 <= first_octet <= 223
+
+    def test_target_effective_nexthops(self, rng, nexthops):
+        table = generate_table(20_000, nexthops, rng, target_effective=2.0)
+        counts = Counter(table.values())
+        assert effective_nexthops(list(counts.values())) == pytest.approx(
+            2.0, rel=0.3
+        )
+
+    def test_aggregatability_in_paper_range(self, rng, nexthops):
+        """The generator's whole purpose: ORTC shrinks the table to
+        roughly the paper's one-third (±, it's synthetic)."""
+        from repro.core.ortc import ortc
+
+        table = generate_table(20_000, nexthops, rng)
+        ratio = len(ortc(table.items(), 32)) / len(table)
+        assert 0.25 < ratio < 0.55
+
+    def test_small_width_generation(self, rng, nexthops):
+        profile = TableProfile(width=12)
+        table = generate_table(200, nexthops, rng, profile=profile)
+        assert len(table) == 200
+        assert all(p.width == 12 for p in table)
+
+    def test_dfz_shares_sane(self):
+        assert abs(sum(DFZ_LENGTH_SHARES.values()) - 1.0) < 0.01
+        assert max(DFZ_LENGTH_SHARES, key=DFZ_LENGTH_SHARES.get) == 24

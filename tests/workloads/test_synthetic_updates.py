@@ -1,0 +1,88 @@
+"""Tests for the synthetic update-trace generator."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.net.update import UpdateKind
+from repro.workloads.synthetic_table import generate_table
+from repro.workloads.synthetic_updates import UpdateMix, generate_update_trace
+
+from tests.conftest import make_nexthops
+
+
+@pytest.fixture
+def setup(rng):
+    nexthops = make_nexthops(6)
+    table = generate_table(2000, nexthops, rng)
+    return table, nexthops
+
+
+class TestTrace:
+    def test_exact_count(self, rng, setup):
+        table, nexthops = setup
+        trace = generate_update_trace(table, 500, nexthops, rng)
+        assert len(trace) == 500
+
+    def test_replayable_against_table(self, rng, setup):
+        """Withdraws always target live prefixes when replayed in order."""
+        table, nexthops = setup
+        trace = generate_update_trace(table, 3000, nexthops, rng)
+        live = dict(table)
+        for update in trace:
+            if update.kind is UpdateKind.ANNOUNCE:
+                live[update.prefix] = update.nexthop
+            else:
+                assert update.prefix in live, "withdraw of a dead prefix"
+                del live[update.prefix]
+
+    def test_table_size_stays_roughly_stable(self, rng, setup):
+        """Figure 8's right axis: OT size varies by a fraction of a percent."""
+        table, nexthops = setup
+        trace = generate_update_trace(table, 4000, nexthops, rng)
+        live = dict(table)
+        for update in trace:
+            if update.kind is UpdateKind.ANNOUNCE:
+                live[update.prefix] = update.nexthop
+            else:
+                live.pop(update.prefix, None)
+        assert abs(len(live) - len(table)) / len(table) < 0.06
+
+    def test_timestamps_monotonic(self, rng, setup):
+        table, nexthops = setup
+        trace = generate_update_trace(table, 800, nexthops, rng)
+        stamps = [u.timestamp for u in trace]
+        assert stamps == sorted(stamps)
+        assert stamps[0] >= 0
+
+    def test_churn_is_heavy_tailed(self, rng, setup):
+        """A small set of prefixes should account for most updates."""
+        table, nexthops = setup
+        trace = generate_update_trace(table, 5000, nexthops, rng)
+        per_prefix = Counter(u.prefix for u in trace)
+        busiest = sum(c for _, c in per_prefix.most_common(len(per_prefix) // 10))
+        assert busiest > len(trace) * 0.4
+
+    def test_original_table_untouched(self, rng, setup):
+        table, nexthops = setup
+        snapshot = dict(table)
+        generate_update_trace(table, 1000, nexthops, rng)
+        assert table == snapshot
+
+    def test_mix_normalization(self):
+        mix = UpdateMix(flap=2, path_change=1, duplicate=1, new_prefix=0.5, retire_prefix=0.5)
+        shares = mix.normalized()
+        assert sum(shares) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            UpdateMix(0, 0, 0, 0, 0).normalized()
+
+    def test_empty_table_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_update_trace({}, 10, make_nexthops(2), rng)
+
+    def test_zero_updates(self, rng, setup):
+        table, nexthops = setup
+        assert len(generate_update_trace(table, 0, nexthops, rng)) == 0
