@@ -12,10 +12,12 @@ import itertools
 import random
 
 from repro.core.equivalence import semantically_equivalent
+from repro.core.manager import SmaltaManager
 from repro.core.ortc import ortc
 from repro.core.smalta import SmaltaState
 from repro.fib.treebitmap import TreeBitmap
 from repro.net.update import UpdateKind
+from repro.verify import AuditConfig, audit_state
 
 
 def make_state(table) -> SmaltaState:
@@ -55,6 +57,30 @@ def test_bench_incremental_updates(benchmark, bench_table, bench_trace):
                 pass
 
     benchmark(one_update)
+
+
+def test_bench_audited_updates(benchmark, bench_table, bench_trace):
+    """Incorporation throughput with the inline auditor sampling every
+    1000th update — the overhead of running self-checking in production
+    (docs/VERIFICATION.md)."""
+    table, _ = bench_table
+    manager = SmaltaManager(width=32, audit=AuditConfig.every(1000))
+    for prefix, nexthop in table.items():
+        manager.state.load(prefix, nexthop)
+    manager.loading = False
+    manager.state.snapshot()
+    cycle = itertools.cycle(bench_trace)
+    benchmark(lambda: manager.apply(next(cycle)))
+    assert manager.audits_run > 0
+
+
+def test_bench_invariant_audit(benchmark, bench_table):
+    """One full audit_state pass (structure + pi + reverse index +
+    coverage + semantic equivalence) over a realistic table."""
+    table, _ = bench_table
+    state = make_state(table)
+    violations = benchmark(lambda: audit_state(state))
+    assert violations == []
 
 
 def test_bench_tbm_build(benchmark, bench_table):

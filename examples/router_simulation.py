@@ -3,7 +3,9 @@
 A simulated router with three BGP peers: routes flow through best-path
 selection into zebra, where the SMALTA layer intercepts the kernel
 downloads. The CLI toggles aggregation at runtime, exactly like the
-paper's Quagga port.
+paper's Quagga port. The run is self-checking: the invariant auditor
+(see docs/VERIFICATION.md) re-verifies the SMALTA state every 1000
+updates and after every snapshot, raising immediately on corruption.
 
 Run:  python examples/router_simulation.py
 """
@@ -15,6 +17,7 @@ from repro.core.policy import PeriodicUpdateCountPolicy
 from repro.net.nexthop import NexthopRegistry
 from repro.router.cli import RouterCli
 from repro.router.pipeline import RouterPipeline
+from repro.verify import AuditConfig
 from repro.workloads.synthetic_table import generate_table
 
 
@@ -25,7 +28,9 @@ def main() -> None:
     igp = registry.create_many(2, prefix="igp-")
 
     pipeline = RouterPipeline(
-        igp_nexthops=igp, policy=PeriodicUpdateCountPolicy(5_000)
+        igp_nexthops=igp,
+        policy=PeriodicUpdateCountPolicy(5_000),
+        audit=AuditConfig.every(1000),
     )
     for peer in peers:
         pipeline.add_peer(peer)
@@ -68,11 +73,13 @@ def main() -> None:
     print(cli.execute("smalta snapshot"))
 
     stats = pipeline.stats
+    manager = pipeline.zebra.manager
     print(
         f"\nprocessed {stats.updates_processed:,} FIB updates, "
         f"{stats.fib_downloads:,} downloads, {stats.snapshots} snapshots "
         f"(mean stall {stats.mean_delay_s * 1000:.1f} ms)"
     )
+    print(f"inline audits run: {manager.audits_run} (all clean)")
 
 
 if __name__ == "__main__":

@@ -30,26 +30,35 @@ def merge_siblings(node: _LNode) -> None:
     When both children carry the same label, the label moves to the
     parent — unless the parent already has a *different* label, in which
     case the children must stay (two entries cannot share a prefix).
+
+    Explicit-stack post-order: recursing per trie level overflows the
+    interpreter stack at IPv6 depth.
     """
-    if node.left is not None:
-        merge_siblings(node.left)
-    if node.right is not None:
-        merge_siblings(node.right)
-    left, right = node.left, node.right
-    if (
-        left is not None
-        and right is not None
-        and left.label is not None
-        and left.label == right.label
-    ):
-        if node.label is None:
-            node.label = left.label
-            left.label = None
-            right.label = None
-        elif node.label == left.label:
-            # The parent entry already covers both siblings.
-            left.label = None
-            right.label = None
+    stack: list[tuple[_LNode, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if not expanded:
+            stack.append((current, True))
+            if current.left is not None:
+                stack.append((current.left, False))
+            if current.right is not None:
+                stack.append((current.right, False))
+            continue
+        left, right = current.left, current.right
+        if (
+            left is not None
+            and right is not None
+            and left.label is not None
+            and left.label == right.label
+        ):
+            if current.label is None:
+                current.label = left.label
+                left.label = None
+                right.label = None
+            elif current.label == left.label:
+                # The parent entry already covers both siblings.
+                left.label = None
+                right.label = None
 
 
 def level2(

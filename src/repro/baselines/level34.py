@@ -34,46 +34,57 @@ from repro.net.prefix import Prefix
 # -- Level 3 -------------------------------------------------------------
 
 
-def _merge_with_holes(node: _LNode, covered_above: bool) -> None:
+def _merge_with_holes(root: _LNode, covered_above: bool) -> None:
     """Post-order sibling merge that may absorb an *unrouted* sibling half.
 
     Absorption is only legal when the absorbed half is truly unrouted
     (no labels inside it and no ancestor label covering it) — otherwise
     routed space would change nexthop, which even whiteholing forbids.
     Routed space is preserved; the absorbed hole is what gets whiteholed.
+
+    Explicit-stack post-order: the pre-order ``covered_above`` context is
+    captured in the frame (label moves during the merge phase must not
+    change what descendants observed, and recursion would overflow at
+    IPv6 depth anyway).
     """
-    covered_here = covered_above or node.label is not None
-    left, right = node.left, node.right
-    if left is not None:
-        _merge_with_holes(left, covered_here)
-    if right is not None:
-        _merge_with_holes(right, covered_here)
+    stack: list[tuple[_LNode, bool, bool]] = [(root, covered_above, False)]
+    while stack:
+        node, covered, expanded = stack.pop()
+        left, right = node.left, node.right
+        if not expanded:
+            covered_here = covered or node.label is not None
+            stack.append((node, covered, True))
+            if left is not None:
+                stack.append((left, covered_here, False))
+            if right is not None:
+                stack.append((right, covered_here, False))
+            continue
 
-    # The plain L2 sibling merge.
-    if (
-        left is not None
-        and right is not None
-        and left.label is not None
-        and left.label == right.label
-    ):
-        if node.label is None:
-            node.label = left.label
-            left.label = right.label = None
-        elif node.label == left.label:
-            left.label = right.label = None
+        # The plain L2 sibling merge.
+        if (
+            left is not None
+            and right is not None
+            and left.label is not None
+            and left.label == right.label
+        ):
+            if node.label is None:
+                node.label = left.label
+                left.label = right.label = None
+            elif node.label == left.label:
+                left.label = right.label = None
 
-    # Hole absorption: parent slot free, no ancestor cover, one labeled
-    # child whose sibling subtree carries no label at all.
-    if node.label is None and not covered_above:
-        for labeled, hole in ((left, right), (right, left)):
-            if (
-                labeled is not None
-                and labeled.label is not None
-                and (hole is None or _subtree_unlabeled(hole))
-            ):
-                node.label = labeled.label
-                labeled.label = None
-                break
+        # Hole absorption: parent slot free, no ancestor cover, one
+        # labeled child whose sibling subtree carries no label at all.
+        if node.label is None and not covered:
+            for labeled, hole in ((left, right), (right, left)):
+                if (
+                    labeled is not None
+                    and labeled.label is not None
+                    and (hole is None or _subtree_unlabeled(hole))
+                ):
+                    node.label = labeled.label
+                    labeled.label = None
+                    break
 
 
 def _subtree_unlabeled(node: _LNode) -> bool:

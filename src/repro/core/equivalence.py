@@ -16,10 +16,13 @@ O(total entries), not O(address space).
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.net.nexthop import DROP, Nexthop
 from repro.net.prefix import Prefix
+
+if TYPE_CHECKING:
+    from repro.core.trie import FibTrie
 
 
 class _ENode:
@@ -131,117 +134,18 @@ def semantically_equivalent(
 
 
 # -- SMALTA structural invariants (Section 3.3) ------------------------
+#
+# The invariant checks grew into a subsystem of their own and live in
+# :mod:`repro.verify.invariants` (structured Violation records, the full
+# catalogue in docs/VERIFICATION.md). This wrapper keeps the historical
+# string-based surface.
 
 
-def check_invariant1(trie) -> list[str]:
-    """Invariant 1: between a deaggregate and its preimage, the OT is silent.
+def check_invariants(trie: "FibTrie") -> list[str]:
+    """All structural-invariant violations (empty list when healthy).
 
-    For every AT node with a preimage pointer, all nodes *strictly
-    between* the preimage and the deaggregate must carry no OT label, and
-    the deaggregate itself must not be an OT entry with a different
-    nexthop hiding underneath. Returns human-readable violations.
+    Deprecated shim over :func:`repro.verify.invariants.audit_trie`.
     """
-    violations: list[str] = []
-    nil_node = getattr(trie, "nil_node", None)
-    for node in trie.iter_nodes():
-        if node.pi is None:
-            continue
-        preimage = node.pi
-        if preimage is nil_node:
-            # Deaggregate of the unrouted context: must be an explicit
-            # null route with no covering OT entry anywhere above it.
-            if node.d_a != DROP:
-                violations.append(
-                    f"{node.prefix} registered as a DROP deaggregate but "
-                    f"labeled {node.d_a}"
-                )
-            walker = node.parent
-            while walker is not None:
-                if walker.d_o is not None:
-                    violations.append(
-                        f"explicit DROP at {node.prefix} under OT entry "
-                        f"{walker.prefix}->{walker.d_o}"
-                    )
-                    break
-                walker = walker.parent
-            continue
-        if not preimage.prefix.contains(node.prefix) or preimage is node:
-            violations.append(
-                f"pi({node.prefix}) = {preimage.prefix} is not a proper ancestor"
-            )
-            continue
-        walker = node.parent
-        while walker is not None and walker is not preimage:
-            if walker.d_o is not None:
-                violations.append(
-                    f"OT label {walker.d_o} at {walker.prefix} between deaggregate "
-                    f"{node.prefix} and preimage {preimage.prefix}"
-                )
-            walker = walker.parent
-        if walker is None:
-            violations.append(
-                f"preimage {preimage.prefix} not on the ancestor path of {node.prefix}"
-            )
-    return violations
+    from repro.verify.invariants import audit_trie
 
-
-def check_invariant2(trie) -> list[str]:
-    """Invariant 2: between an aggregate and its preimages, the AT is silent.
-
-    Operationally: every OT entry whose own prefix carries no AT label
-    must be *covered* in the AT by propagation of the same nexthop —
-    i.e. the nearest AT-labeled ancestor-or-self either matches its OT
-    nexthop or the entry's space is fully re-covered by deaggregates.
-    We verify the propagation form: walking up from an AT-silent OT entry,
-    the first AT label encountered must equal the entry's OT nexthop,
-    unless the entry's whole space is overridden below (checked via the
-    full semantic comparison, so here we only flag propagation mismatches
-    that the equivalence check also rejects).
-    """
-    violations: list[str] = []
-    for node in trie.iter_nodes():
-        if node.d_o is None or node.d_a is not None:
-            continue
-        # Find the nearest AT-labeled strict ancestor.
-        walker = node.parent
-        while walker is not None and walker.d_a is None:
-            walker = walker.parent
-        inherited = walker.d_a if walker is not None else DROP
-        if inherited == node.d_o:
-            continue
-        # The entry is not served by propagation; its space must be fully
-        # covered by descendants with AT labels (deaggregates). Check that
-        # every leaf-ward gap below carries an AT label before the space
-        # escapes.
-        if not _fully_covered_below(node):
-            violations.append(
-                f"OT entry {node.prefix}->{node.d_o} inherits {inherited} in the AT "
-                "and is not fully re-covered by deaggregates"
-            )
-    return violations
-
-
-def _fully_covered_below(node) -> bool:
-    """True when every address under ``node`` meets an AT label at or below
-    the first OT-or-AT node on its downward path (i.e. no gap where the
-    ancestor's AT propagation would leak through)."""
-    stack = [node]
-    while stack:
-        current = stack.pop()
-        for bit in (0, 1):
-            child = current.right if bit else current.left
-            if child is None:
-                # A gap: addresses here have `node` as their OT longest
-                # match, yet inherit the mismatched AT propagation.
-                return False
-            if child.d_a is not None:
-                continue  # structurally covered (value checked by TaCo)
-            if child.d_o is not None:
-                continue  # a deeper OT entry owns this space
-            stack.append(child)
-    return True
-
-
-def check_invariants(trie) -> list[str]:
-    """All structural-invariant violations (empty list when healthy)."""
-    return check_invariant1(trie) + check_invariant2(trie)
+    return [str(violation) for violation in audit_trie(trie)]

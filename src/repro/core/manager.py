@@ -13,13 +13,16 @@ update stream and produces the aggregated FIB-download stream, handling
   queued and incorporated right after it completes, which is the paper's
   "sub-second delay once every few hours";
 - **aggregation off**: with ``enabled=False`` the manager degrades to a
-  pass-through (FIB = OT), the baseline every experiment compares against.
+  pass-through (FIB = OT), the baseline every experiment compares against;
+- **self-checking**: an :class:`~repro.verify.audit.AuditConfig` runs the
+  invariant auditor inline (every N updates and/or every snapshot), the
+  sanitizer-style mode the stateful tests and examples flip on.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.core.downloads import DownloadLog, FibDownload
 from repro.core.policy import ManualSnapshotPolicy, SnapshotPolicy
@@ -27,6 +30,7 @@ from repro.core.smalta import SmaltaState
 from repro.net.nexthop import Nexthop
 from repro.net.prefix import Prefix
 from repro.net.update import RouteUpdate, UpdateKind
+from repro.verify.audit import AuditConfig
 
 
 class SmaltaManager:
@@ -39,9 +43,12 @@ class SmaltaManager:
         enabled: bool = True,
         download_log: Optional[DownloadLog] = None,
         clock: Callable[[], float] = time.perf_counter,
+        audit: Optional[AuditConfig] = None,
     ) -> None:
         self.state = SmaltaState(width)
-        self.policy: SnapshotPolicy = policy or ManualSnapshotPolicy()
+        self.policy: SnapshotPolicy = policy if policy is not None else (
+            ManualSnapshotPolicy()
+        )
         self.enabled = enabled
         # Note: DownloadLog has __len__, so an empty log is falsy — test
         # identity, not truth, or a caller-supplied log would be dropped.
@@ -49,6 +56,11 @@ class SmaltaManager:
             keep_entries=False
         )
         self._clock = clock
+        # AuditConfig is a frozen dataclass without __len__, but keep the
+        # identity test anyway: AuditConfig.off() is "present but inert".
+        self.audit = audit if audit is not None else AuditConfig.off()
+        self.audits_run = 0
+        self._updates_since_audit = 0
         self.loading = True
         self.updates_received = 0
         self.updates_since_snapshot = 0
@@ -94,13 +106,14 @@ class SmaltaManager:
         downloads = self._incorporate(update)
         self.log.record_update_downloads(downloads)
         self.updates_since_snapshot += 1
+        self._maybe_audit_update()
         if self.enabled and self.policy.should_snapshot(
             self.updates_since_snapshot, self.state.at_size
         ):
             downloads = downloads + self.snapshot_now()
         return downloads
 
-    def apply_many(self, updates) -> int:
+    def apply_many(self, updates: Iterable[RouteUpdate]) -> int:
         """Replay an iterable of updates; returns total downloads emitted."""
         total = 0
         for update in updates:
@@ -141,6 +154,20 @@ class SmaltaManager:
             return []
         return [FibDownload.delete(update.prefix)]
 
+    # -- self-checking -----------------------------------------------------
+
+    def _maybe_audit_update(self) -> None:
+        """Run the inline auditor if the every-N-updates trigger is due."""
+        config = self.audit
+        if config.every_updates is None or not self.enabled:
+            return
+        self._updates_since_audit += 1
+        if self._updates_since_audit < config.every_updates:
+            return
+        self._updates_since_audit = 0
+        self.audits_run += 1
+        config.run(self.state, "update")
+
     # -- snapshot ------------------------------------------------------------
 
     def snapshot_now(self) -> list[FibDownload]:
@@ -157,6 +184,10 @@ class SmaltaManager:
         self.log.record_snapshot_burst(burst)
         self.updates_since_snapshot = 0
         self.policy.on_snapshot(self.state.at_size)
+        if self.audit.on_snapshot:
+            self._updates_since_audit = 0
+            self.audits_run += 1
+            self.audit.run(self.state, "snapshot")
         downloads = list(burst)
         queued, self._queued = self._queued, []
         for update in queued:
@@ -194,4 +225,5 @@ class SmaltaManager:
             "snapshot_downloads": self.log.snapshot_downloads,
             "snapshots": self.log.snapshot_count,
             "mean_snapshot_burst": self.log.mean_snapshot_burst,
+            "audits_run": self.audits_run,
         }

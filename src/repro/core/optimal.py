@@ -47,12 +47,15 @@ def _build(table: Mapping[Prefix, Nexthop], width: int) -> _DNode:
     return root
 
 
-def _effective(node: _DNode, inherited: Nexthop) -> None:
-    node.eff = node.label if node.label is not None else inherited
-    if node.left is not None:
-        _effective(node.left, node.eff)
-    if node.right is not None:
-        _effective(node.right, node.eff)
+def _effective(root: _DNode, inherited: Nexthop) -> None:
+    stack: list[tuple[_DNode, Nexthop]] = [(root, inherited)]
+    while stack:
+        node, context = stack.pop()
+        node.eff = node.label if node.label is not None else context
+        if node.left is not None:
+            stack.append((node.left, node.eff))
+        if node.right is not None:
+            stack.append((node.right, node.eff))
 
 
 def optimal_table_size(table: Mapping[Prefix, Nexthop], width: int = 32) -> int:
@@ -65,43 +68,54 @@ def optimal_table_size(table: Mapping[Prefix, Nexthop], width: int = 32) -> int:
     root = _build(table, width)
     _effective(root, DROP)
     alphabet = sorted({DROP, *table.values()})
+    infinity = float("inf")
 
-    memo: dict[tuple[int, int], int] = {}
-    nodes: list[_DNode] = []
-    index_of: dict[int, int] = {}
+    # Bottom-up dynamic program over (node, inherited-context) pairs.
+    # cost[id(node)][context] = minimum entries in node's subtree given
+    # that `context` propagates from above. At each node either no entry
+    # is emitted (children see the inherited context, price 0) or an
+    # entry with nexthop c is (children see c, price 1); a leaf must
+    # resolve to its required nexthop, and a phantom (missing) half
+    # needs an explicit entry whenever the context differs from the
+    # node's effective nexthop. Post-order via an explicit stack — the
+    # recursive formulation overflows at IPv6 depth.
+    cost: dict[int, dict[Nexthop, int | float]] = {}
+    stack: list[tuple[_DNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            for child in (node.left, node.right):
+                if child is not None:
+                    stack.append((child, False))
+            continue
+        is_leaf = node.left is None and node.right is None
+        table_for_node: dict[Nexthop, int | float] = {}
+        for inherited in alphabet:
+            result: int | float = infinity
+            for context in alphabet:
+                price = 0 if context == inherited else 1
+                if is_leaf:
+                    if context != node.eff:
+                        continue  # a leaf must resolve to its nexthop
+                    total: int | float = price
+                else:
+                    total = price
+                    for child in (node.left, node.right):
+                        if child is not None:
+                            total += cost[id(child)][context]
+                        elif node.eff != context:
+                            total += 1  # phantom half needs an entry
+                if total < result:
+                    result = total
+            table_for_node[inherited] = result
+        cost[id(node)] = table_for_node
+        # Children's tables are no longer needed once the parent's is
+        # built; drop them so the memo stays O(frontier), not O(nodes).
+        for child in (node.left, node.right):
+            if child is not None:
+                del cost[id(child)]
 
-    def intern(node: _DNode) -> int:
-        key = id(node)
-        if key not in index_of:
-            index_of[key] = len(nodes)
-            nodes.append(node)
-        return index_of[key]
-
-    def best(node: _DNode, inherited: Nexthop) -> int:
-        key = (intern(node), inherited.key)
-        found = memo.get(key)
-        if found is not None:
-            return found
-        # Option 1: no entry at this node — children see `inherited`.
-        # Option 2: an entry with nexthop c — costs 1, children see c.
-        candidates = [(inherited, 0)]
-        candidates.extend((c, 1) for c in alphabet if c != inherited)
-        result = None
-        for context, price in candidates:
-            total = price
-            if node.left is None and node.right is None:
-                if context != node.eff:
-                    continue  # a leaf must resolve to its required nexthop
-            else:
-                for child in (node.left, node.right):
-                    if child is not None:
-                        total += best(child, context)
-                    elif node.eff != context:
-                        total += 1  # phantom half needs an explicit entry
-            if result is None or total < result:
-                result = total
-        assert result is not None, "alphabet always contains node.eff"
-        memo[key] = result
-        return result
-
-    return best(root, DROP)
+    result = cost[id(root)][DROP]
+    assert result != infinity, "alphabet always contains node.eff"
+    return int(result)

@@ -61,31 +61,42 @@ class CoverageMap:
             node.label = nexthop
         self._annotate(self._root, width)
 
-    def _annotate(self, node: _CNode, bits_left: int) -> None:
-        half = 1 << (bits_left - 1) if bits_left else 0
-        covered = 0
-        gap = 0
-        routed_here = node.label is not None and node.label != DROP
-        for child in (node.left, node.right):
-            if child is not None:
-                self._annotate(child, bits_left - 1)
-                covered += child.covered_fixed
-                if node.label is None:
-                    gap += child.gap
-                elif routed_here:
-                    covered += child.gap
-            else:
-                if node.label is None:
-                    gap += half
-                elif routed_here:
-                    covered += half
-        if node.left is None and node.right is None:
-            # A labeled leaf has no descendants; its whole region follows
-            # its own label. (An unlabeled leaf cannot exist.)
-            covered = (1 << bits_left) if routed_here else 0
-            gap = 0 if node.label is not None else (1 << bits_left)
-        node.covered_fixed = covered
-        node.gap = gap
+    def _annotate(self, root: _CNode, width: int) -> None:
+        # Post-order via an explicit stack (recursion would overflow at
+        # IPv6 depth): children are annotated before their parent reads
+        # covered_fixed/gap off them.
+        stack: list[tuple[_CNode, int, bool]] = [(root, width, False)]
+        while stack:
+            node, bits_left, expanded = stack.pop()
+            if not expanded:
+                stack.append((node, bits_left, True))
+                for child in (node.left, node.right):
+                    if child is not None:
+                        stack.append((child, bits_left - 1, False))
+                continue
+            half = 1 << (bits_left - 1) if bits_left else 0
+            covered = 0
+            gap = 0
+            routed_here = node.label is not None and node.label != DROP
+            for child in (node.left, node.right):
+                if child is not None:
+                    covered += child.covered_fixed
+                    if node.label is None:
+                        gap += child.gap
+                    elif routed_here:
+                        covered += child.gap
+                else:
+                    if node.label is None:
+                        gap += half
+                    elif routed_here:
+                        covered += half
+            if node.left is None and node.right is None:
+                # A labeled leaf has no descendants; its whole region
+                # follows its own label. (An unlabeled leaf cannot exist.)
+                covered = (1 << bits_left) if routed_here else 0
+                gap = 0 if node.label is not None else (1 << bits_left)
+            node.covered_fixed = covered
+            node.gap = gap
 
     def covered(self, value: int, length: int) -> int:
         """Routed addresses within the aligned region (value, length)."""

@@ -89,39 +89,44 @@ class PatriciaFib:
             self._root = PatriciaNode(prefix, nexthop)
             self._count = 1
             return
-        self._root, added = self._insert_into(self._root, prefix, nexthop)
-        self._count += added
-
-    def _insert_into(
-        self, node: PatriciaNode, prefix: Prefix, nexthop: Nexthop
-    ) -> tuple[PatriciaNode, int]:
-        common = _common_prefix(node.prefix, prefix)
-        if common.length < node.prefix.length:
-            # Split: a new branch (or entry) node above `node`.
-            if common.length == prefix.length:
-                parent = PatriciaNode(prefix, nexthop)
-            else:
-                parent = PatriciaNode(common)
-            self._attach(parent, node)
-            if common.length < prefix.length:
-                self._attach(parent, PatriciaNode(prefix, nexthop))
-            return parent, 1
-        # node.prefix is a prefix of `prefix`.
-        if prefix.length == node.prefix.length:
-            added = 1 if node.nexthop is None else 0
-            node.nexthop = nexthop
-            return node, added
-        bit = prefix.bit(node.prefix.length)
-        child = node.right if bit else node.left
-        if child is None:
-            self._attach(node, PatriciaNode(prefix, nexthop))
-            return node, 1
-        new_child, added = self._insert_into(child, prefix, nexthop)
-        if bit:
-            node.right = new_child
-        else:
-            node.left = new_child
-        return node, added
+        # Iterative descent (recursion would overflow at IPv6 depth):
+        # remember where the current node hangs so a split can be spliced
+        # back into its parent slot.
+        parent: Optional[PatriciaNode] = None
+        parent_bit = 0
+        node = self._root
+        while True:
+            common = _common_prefix(node.prefix, prefix)
+            if common.length < node.prefix.length:
+                # Split: a new branch (or entry) node above `node`.
+                if common.length == prefix.length:
+                    split = PatriciaNode(prefix, nexthop)
+                else:
+                    split = PatriciaNode(common)
+                self._attach(split, node)
+                if common.length < prefix.length:
+                    self._attach(split, PatriciaNode(prefix, nexthop))
+                if parent is None:
+                    self._root = split
+                elif parent_bit:
+                    parent.right = split
+                else:
+                    parent.left = split
+                self._count += 1
+                return
+            # node.prefix is a prefix of `prefix`.
+            if prefix.length == node.prefix.length:
+                if node.nexthop is None:
+                    self._count += 1
+                node.nexthop = nexthop
+                return
+            bit = prefix.bit(node.prefix.length)
+            child = node.right if bit else node.left
+            if child is None:
+                self._attach(node, PatriciaNode(prefix, nexthop))
+                self._count += 1
+                return
+            parent, parent_bit, node = node, bit, child
 
     def _attach(self, parent: PatriciaNode, child: PatriciaNode) -> None:
         if child.prefix.bit(parent.prefix.length):

@@ -76,7 +76,9 @@ class UpdateTrace:
     def __iter__(self) -> Iterator[RouteUpdate]:
         return iter(self.updates)
 
-    def __getitem__(self, index):
+    def __getitem__(
+        self, index: "int | slice"
+    ) -> "RouteUpdate | list[RouteUpdate]":
         return self.updates[index]
 
     @property

@@ -21,6 +21,7 @@ from repro.net.prefix import Prefix
 from repro.net.update import RouteUpdate, UpdateKind, UpdateTrace
 from repro.router.kernel import KernelFib
 from repro.router.zebra import Zebra
+from repro.verify.audit import AuditConfig
 
 
 @dataclass
@@ -52,6 +53,7 @@ class RouterPipeline:
         policy: Optional[SnapshotPolicy] = None,
         kernel: Optional[KernelFib] = None,
         snapshot_delay_model: Optional[float] = None,
+        audit: Optional[AuditConfig] = None,
     ) -> None:
         self.loc_rib = LocRib()
         self.sessions = SessionManager()
@@ -62,6 +64,7 @@ class RouterPipeline:
             smalta_enabled=smalta_enabled,
             policy=policy,
             download_log=self.download_log,
+            audit=audit,
         )
         self.igp_mapper = (
             RoundRobinIgpMapper(igp_nexthops) if igp_nexthops is not None else None

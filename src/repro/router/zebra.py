@@ -22,6 +22,7 @@ from repro.net.nexthop import Nexthop
 from repro.net.prefix import Prefix
 from repro.net.update import RouteUpdate
 from repro.router.kernel import KernelFib
+from repro.verify.audit import AuditConfig
 
 
 class Zebra:
@@ -34,6 +35,7 @@ class Zebra:
         smalta_enabled: bool = True,
         policy: Optional[SnapshotPolicy] = None,
         download_log: Optional[DownloadLog] = None,
+        audit: Optional[AuditConfig] = None,
     ) -> None:
         self.kernel = kernel if kernel is not None else KernelFib(width)
         self.manager = SmaltaManager(
@@ -41,6 +43,7 @@ class Zebra:
             policy=policy,
             enabled=smalta_enabled,
             download_log=download_log,
+            audit=audit,
         )
 
     # -- the two intercepted functions --------------------------------------

@@ -1,0 +1,44 @@
+"""Machine-enforced correctness tooling for the SMALTA core.
+
+The paper reports that the authors "automatically computed the
+correctness of millions of updated aggregated tables"; this package is
+that machinery, grown into three layers:
+
+- :mod:`repro.verify.invariants` — a structural auditor that walks the
+  OT/AT union trie once and checks the bookkeeping invariants the
+  incremental algorithms rely on (preimage pointers, the reverse
+  deaggregate index, label consistency, semantic equivalence), reporting
+  :class:`~repro.verify.invariants.Violation` records instead of bare
+  asserts;
+- :mod:`repro.verify.audit` — the sanitizer-style self-checking mode:
+  :class:`~repro.verify.audit.AuditConfig` plugs the auditor into
+  :class:`~repro.core.manager.SmaltaManager` (off / every-N-updates /
+  every-snapshot), raising :class:`~repro.verify.audit.AuditError` or
+  logging on violation;
+- :mod:`repro.verify.lint` — a repo-specific AST lint pass
+  (``python -m repro.verify.lint src/``) enforcing the structural rules
+  that keep the hot paths safe to refactor (``__slots__`` on node
+  classes, no trie-bookkeeping writes outside ``core/``, no wall-clock
+  reads in algorithm code, no recursion in trie walkers, annotations on
+  public ``core/`` functions, no truthiness tests on ``__len__``-bearing
+  objects).
+
+See ``docs/VERIFICATION.md`` for the full invariant catalogue.
+"""
+
+from repro.verify.audit import AuditConfig, AuditError
+from repro.verify.invariants import (
+    InvariantCode,
+    Violation,
+    audit_state,
+    audit_trie,
+)
+
+__all__ = [
+    "AuditConfig",
+    "AuditError",
+    "InvariantCode",
+    "Violation",
+    "audit_state",
+    "audit_trie",
+]

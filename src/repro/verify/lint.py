@@ -1,0 +1,461 @@
+"""Repo-specific static checks for the SMALTA codebase.
+
+``python -m repro.verify.lint src/`` walks the given files or directories
+and enforces the structural rules that keep the hot paths safe to
+refactor aggressively:
+
+- **REPRO001** ``missing-slots`` — trie/FIB node classes (name ending in
+  ``Node``) must declare ``__slots__``; a stray ``__dict__`` per node
+  multiplies resident memory on million-entry tables.
+- **REPRO002** ``trie-write-outside-core`` — only ``repro/core`` may
+  assign the trie bookkeeping attributes (``d_o``, ``d_a``, ``pi``,
+  ``deaggs``); everything else must go through the ``FibTrie`` API so
+  the AT observer and the reverse deaggregate index stay consistent.
+- **REPRO003** ``wall-clock-call`` — no ``time.time()`` /
+  ``datetime.now()``-style reads in library code; clocks are injected
+  (see ``SmaltaManager(clock=...)``) so experiments replay
+  deterministically.
+- **REPRO004** ``recursive-walker`` — no self-recursive functions:
+  trie walkers recursing per bit overflow the interpreter stack at
+  width 128 (IPv6); use an explicit stack.
+- **REPRO005** ``untyped-public`` — public functions and methods in
+  ``repro/core`` and ``repro/verify`` must annotate every parameter and
+  the return type (the ``mypy --strict`` floor).
+- **REPRO006** ``falsy-len-guard`` — no truthiness tests on parameters
+  whose annotated type defines ``__len__`` (e.g. ``DownloadLog``): an
+  empty-but-present object is falsy, so ``log or DownloadLog()``
+  silently drops a caller-supplied log. Test ``is not None`` or
+  ``len(...)`` explicitly.
+
+A finding can be waived with a ``# noqa: REPROnnn`` comment on the
+offending line. Exit status is 0 when clean, 1 when findings remain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+RULES: dict[str, str] = {
+    "REPRO001": "node class must declare __slots__",
+    "REPRO002": "trie bookkeeping attribute written outside repro/core",
+    "REPRO003": "wall-clock read in library code (inject a clock instead)",
+    "REPRO004": "self-recursive walker (use an explicit stack)",
+    "REPRO005": "public function missing parameter or return annotations",
+    "REPRO006": "truthiness test on a __len__-bearing object",
+}
+
+#: The SmaltaState bookkeeping only repro/core may mutate directly.
+TRIE_ATTRS = frozenset({"d_o", "d_a", "pi", "deaggs"})
+
+#: Calls that read the wall clock, as (qualifier, attribute) pairs.
+WALL_CLOCK = frozenset(
+    {
+        ("time", "time"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+
+#: Packages whose public functions must be fully annotated (REPRO005).
+ANNOTATED_PACKAGES = ("core", "net", "verify")
+
+
+@dataclass(frozen=True)
+class LintError:
+    """One finding, formatted like a compiler diagnostic."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _package_parts(path: Path) -> tuple[str, ...]:
+    """The path components after the last ``repro`` directory, if any."""
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return parts[index + 1 :]
+    return parts
+
+
+def collect_len_classes(trees: Iterable[ast.Module]) -> set[str]:
+    """Names of classes (anywhere in the scanned set) defining ``__len__``."""
+    names: set[str] = set()
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and any(
+                isinstance(item, ast.FunctionDef) and item.name == "__len__"
+                for item in node.body
+            ):
+                names.add(node.name)
+    return names
+
+
+def _annotation_class(annotation: Optional[ast.expr]) -> Optional[str]:
+    """The plain class name an annotation resolves to, unwrapping
+    ``Optional[X]`` and ``X | None``; None when it is not that shape."""
+    while annotation is not None:
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+            continue
+        if isinstance(annotation, ast.Name):
+            return annotation.id
+        if isinstance(annotation, ast.Subscript):
+            base = annotation.value
+            if (isinstance(base, ast.Name) and base.id == "Optional") or (
+                isinstance(base, ast.Attribute) and base.attr == "Optional"
+            ):
+                annotation = annotation.slice
+                continue
+            return None
+        if isinstance(annotation, ast.BinOp) and isinstance(
+            annotation.op, ast.BitOr
+        ):
+            left = annotation.left
+            if isinstance(left, ast.Constant) and left.value is None:
+                annotation = annotation.right
+            else:
+                annotation = left
+            continue
+        return None
+    return None
+
+
+class _FileLinter(ast.NodeVisitor):
+    """One pass over one module; accumulates findings in ``errors``."""
+
+    def __init__(
+        self, path: Path, tree: ast.Module, len_classes: set[str]
+    ) -> None:
+        self.path = path
+        self.len_classes = len_classes
+        self.errors: list[LintError] = []
+        parts = _package_parts(path)
+        self.in_core = bool(parts) and parts[0] == "core"
+        self.needs_annotations = bool(parts) and parts[0] in ANNOTATED_PACKAGES
+        #: Enclosing function names (for REPRO004).
+        self.func_stack: list[str] = []
+        #: Enclosing class names (for REPRO005 privacy).
+        self.class_stack: list[str] = []
+        #: Per-function map of parameter name -> __len__-bearing class.
+        self.len_params: list[dict[str, str]] = []
+        self.tree = tree
+
+    # -- helpers --------------------------------------------------------
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        self.errors.append(
+            LintError(
+                str(self.path),
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0),
+                code,
+                message,
+            )
+        )
+
+    # -- REPRO001: __slots__ on node classes ----------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if node.name.endswith("Node"):
+            has_slots = any(
+                (
+                    isinstance(item, ast.Assign)
+                    and any(
+                        isinstance(target, ast.Name) and target.id == "__slots__"
+                        for target in item.targets
+                    )
+                )
+                or (
+                    isinstance(item, ast.AnnAssign)
+                    and isinstance(item.target, ast.Name)
+                    and item.target.id == "__slots__"
+                )
+                for item in node.body
+            )
+            if not has_slots:
+                self.report(
+                    node,
+                    "REPRO001",
+                    f"node class {node.name} must declare __slots__",
+                )
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    # -- REPRO002: bookkeeping writes confined to core ------------------
+
+    def _check_attr_write(self, target: ast.expr) -> None:
+        if (
+            not self.in_core
+            and isinstance(target, ast.Attribute)
+            and target.attr in TRIE_ATTRS
+        ):
+            self.report(
+                target,
+                "REPRO002",
+                f"write to trie attribute .{target.attr} outside repro/core "
+                "(use the FibTrie API)",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_attr_write(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_attr_write(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_attr_write(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_attr_write(target)
+        self.generic_visit(node)
+
+    # -- REPRO003 + REPRO004: calls -------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            qualifier = func.value
+            qual_name = None
+            if isinstance(qualifier, ast.Name):
+                qual_name = qualifier.id
+            elif isinstance(qualifier, ast.Attribute):
+                qual_name = qualifier.attr
+            if qual_name is not None and (qual_name, func.attr) in WALL_CLOCK:
+                self.report(
+                    node,
+                    "REPRO003",
+                    f"{qual_name}.{func.attr}() reads the wall clock; "
+                    "inject a clock callable instead",
+                )
+            if (
+                isinstance(qualifier, ast.Name)
+                and qualifier.id == "self"
+                and func.attr in self.func_stack
+            ):
+                self.report(
+                    node,
+                    "REPRO004",
+                    f"method {func.attr} calls itself; convert to an "
+                    "explicit stack (IPv6 depth overflows recursion)",
+                )
+        elif isinstance(func, ast.Name) and func.id in self.func_stack:
+            self.report(
+                node,
+                "REPRO004",
+                f"function {func.id} calls itself; convert to an "
+                "explicit stack (IPv6 depth overflows recursion)",
+            )
+        self.generic_visit(node)
+
+    # -- REPRO005 + REPRO006 setup: function definitions ----------------
+
+    def _is_public(self, node: ast.FunctionDef) -> bool:
+        if node.name.startswith("_"):
+            return False
+        if any(name.startswith("_") for name in self.class_stack):
+            return False
+        return not self.func_stack  # nested helpers are not public API
+
+    def _check_annotations(self, node: ast.FunctionDef) -> None:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                self.report(
+                    node,
+                    "REPRO005",
+                    f"parameter {arg.arg!r} of public function "
+                    f"{node.name} lacks a type annotation",
+                )
+        for arg in args.kwonlyargs + [a for a in (args.vararg, args.kwarg) if a]:
+            if arg.annotation is None:
+                self.report(
+                    node,
+                    "REPRO005",
+                    f"parameter {arg.arg!r} of public function "
+                    f"{node.name} lacks a type annotation",
+                )
+        if node.returns is None:
+            self.report(
+                node,
+                "REPRO005",
+                f"public function {node.name} lacks a return annotation",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self.needs_annotations and self._is_public(node):
+            self._check_annotations(node)
+        tracked: dict[str, str] = {}
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            cls = _annotation_class(arg.annotation)
+            if cls is not None and cls in self.len_classes:
+                tracked[arg.arg] = cls
+        self.func_stack.append(node.name)
+        self.len_params.append(tracked)
+        self.generic_visit(node)
+        self.len_params.pop()
+        self.func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # -- REPRO006: truthiness on __len__-bearing parameters -------------
+
+    def _check_truthiness(self, test: ast.expr) -> None:
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            test = test.operand
+        if not isinstance(test, ast.Name) or not self.len_params:
+            return
+        cls = self.len_params[-1].get(test.id)
+        if cls is not None:
+            self.report(
+                test,
+                "REPRO006",
+                f"{test.id!r} is a {cls} (defines __len__): an empty one "
+                "is falsy; test `is not None` or len() explicitly",
+            )
+
+    def visit_If(self, node: ast.If) -> None:
+        self._check_truthiness(node.test)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_truthiness(node.test)
+        self.generic_visit(node)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self._check_truthiness(node.test)
+        self.generic_visit(node)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._check_truthiness(node.test)
+        self.generic_visit(node)
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        for value in node.values:
+            self._check_truthiness(value)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        for test in node.ifs:
+            self._check_truthiness(test)
+        self.generic_visit(node)
+
+
+def _collect_files(paths: Sequence[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+                and not any(part.endswith(".egg-info") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _waived(source_lines: list[str], error: LintError) -> bool:
+    """True when the offending line carries a matching ``# noqa``."""
+    if not 1 <= error.line <= len(source_lines):
+        return False
+    line = source_lines[error.line - 1]
+    marker = line.rfind("# noqa")
+    if marker < 0:
+        return False
+    tail = line[marker + len("# noqa") :].strip()
+    if not tail.startswith(":"):
+        return True  # bare `# noqa` waives everything on the line
+    return error.code in tail[1:].replace(",", " ").split()
+
+
+def lint_paths(
+    paths: Sequence[Path], select: Optional[set[str]] = None
+) -> list[LintError]:
+    """Lint every Python file under ``paths``; returns surviving findings."""
+    files = _collect_files(paths)
+    sources: dict[Path, str] = {}
+    trees: dict[Path, ast.Module] = {}
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        try:
+            trees[path] = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            raise SystemExit(f"{path}: syntax error: {exc}") from exc
+        sources[path] = text
+    len_classes = collect_len_classes(trees.values())
+    errors: list[LintError] = []
+    for path, tree in trees.items():
+        linter = _FileLinter(path, tree, len_classes)
+        linter.visit(tree)
+        lines = sources[path].splitlines()
+        for error in linter.errors:
+            if select is not None and error.code not in select:
+                continue
+            if not _waived(lines, error):
+                errors.append(error)
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.lint",
+        description="SMALTA repo-specific lint rules (REPRO001-REPRO006).",
+    )
+    parser.add_argument("paths", nargs="+", type=Path, help="files or directories")
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule codes to enable (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        for code, description in sorted(RULES.items()):
+            print(f"{code}: {description}")
+        return 0
+    select = (
+        {code.strip() for code in options.select.split(",")}
+        if options.select
+        else None
+    )
+    errors = lint_paths(options.paths, select)
+    for error in sorted(errors, key=lambda e: (e.path, e.line, e.col)):
+        print(error)
+    if errors:
+        print(f"{len(errors)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,148 @@
+"""The self-checking (sanitizer) mode of SmaltaManager."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.core.manager import SmaltaManager
+from repro.core.smalta import SmaltaState
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate
+from repro.router.pipeline import RouterPipeline
+from repro.router.zebra import Zebra
+from repro.verify import AuditConfig, AuditError
+
+from tests.conftest import make_nexthops
+
+WIDTH = 8
+A, B, C, D = make_nexthops(4)
+
+
+def p(bits: str) -> Prefix:
+    return Prefix(int(bits, 2) << (WIDTH - len(bits)), len(bits), WIDTH)
+
+
+def make_manager(audit: AuditConfig | None = None) -> SmaltaManager:
+    manager = SmaltaManager(width=WIDTH, audit=audit)
+    for bits, nexthop in [("0", A), ("01", B), ("10", A), ("11", B)]:
+        manager.apply(RouteUpdate.announce(p(bits), nexthop))
+    manager.end_of_rib()
+    return manager
+
+
+# -- configuration surface ---------------------------------------------------
+
+
+def test_audit_off_by_default():
+    manager = make_manager()
+    assert not manager.audit.enabled
+    manager.apply(RouteUpdate.announce(p("001"), C))
+    assert manager.audits_run == 0
+
+
+def test_every_updates_must_be_positive():
+    with pytest.raises(ValueError):
+        AuditConfig(every_updates=0)
+    with pytest.raises(ValueError):
+        AuditConfig.every(-3)
+
+
+def test_config_constructors():
+    assert not AuditConfig.off().enabled
+    every = AuditConfig.every(100)
+    assert every.enabled and every.every_updates == 100 and every.on_snapshot
+    snap = AuditConfig.each_snapshot()
+    assert snap.enabled and snap.every_updates is None
+    assert snap.check_optimal_after_snapshot
+
+
+# -- trigger accounting ------------------------------------------------------
+
+
+def test_audits_fire_every_n_updates_and_on_snapshot():
+    manager = make_manager(AuditConfig.every(2))
+    assert manager.audits_run == 1  # the end-of-RIB snapshot
+    for index in range(4):
+        manager.apply(RouteUpdate.announce(p("0011"), (A, B, C, D)[index]))
+    # Two per-update audits (after the 2nd and 4th) plus the initial one.
+    assert manager.audits_run == 3
+    manager.snapshot_now()
+    assert manager.audits_run == 4
+    assert manager.summary()["audits_run"] == 4
+
+
+def test_passthrough_mode_skips_audits():
+    manager = SmaltaManager(
+        width=WIDTH, enabled=False, audit=AuditConfig.every(1)
+    )
+    manager.apply(RouteUpdate.announce(p("0"), A))
+    manager.end_of_rib()
+    manager.apply(RouteUpdate.announce(p("01"), B))
+    assert manager.audits_run == 0  # no AT to audit without aggregation
+
+
+# -- reactions ---------------------------------------------------------------
+
+
+def test_corruption_raises_audit_error_on_update():
+    manager = make_manager(AuditConfig.every(1))
+    manager.state.trie._ot_count += 1  # inject counter drift
+    with pytest.raises(AuditError) as excinfo:
+        manager.apply(RouteUpdate.announce(p("001"), C))
+    assert excinfo.value.trigger == "update"
+    assert excinfo.value.violations
+
+
+def test_corruption_raises_audit_error_on_snapshot():
+    manager = make_manager(AuditConfig.each_snapshot())
+    manager.state.trie._ot_count += 1
+    with pytest.raises(AuditError) as excinfo:
+        manager.snapshot_now()
+    assert excinfo.value.trigger == "snapshot"
+
+
+def test_logging_mode_reports_and_keeps_forwarding(caplog):
+    manager = make_manager(AuditConfig.every(1, raise_on_violation=False))
+    manager.state.trie._ot_count += 1
+    with caplog.at_level(logging.ERROR, logger="repro.verify"):
+        downloads = manager.apply(RouteUpdate.announce(p("001"), C))
+    assert any("audit after update" in r.message for r in caplog.records)
+    assert manager.audits_run == 2  # the end-of-RIB snapshot + this update
+    assert downloads is not None  # the update itself still went through
+
+
+def test_state_verify_routes_through_auditor():
+    state = SmaltaState(WIDTH)
+    state.load(p("0"), A)
+    state.snapshot()
+    state.verify()  # healthy: no raise
+    state.trie._ot_count += 1
+    with pytest.raises(AssertionError, match="count-drift"):
+        state.verify()
+
+
+# -- pass-through wiring -----------------------------------------------------
+
+
+def test_zebra_and_pipeline_forward_audit_config():
+    config = AuditConfig.every(7)
+    zebra = Zebra(width=WIDTH, audit=config)
+    assert zebra.manager.audit is config
+    pipeline = RouterPipeline(width=WIDTH, audit=config)
+    assert pipeline.zebra.manager.audit is config
+
+
+def test_audited_pipeline_runs_clean():
+    pipeline = RouterPipeline(width=WIDTH, audit=AuditConfig.every(3))
+    peer = make_nexthops(1)[0]
+    pipeline.add_peer(peer)
+    for bits, _ in [("0", A), ("01", B), ("10", A), ("11", B)]:
+        pipeline.announce(peer, p(bits))
+    pipeline.peer_end_of_rib(peer)
+    pipeline.announce(peer, p("001"))
+    pipeline.announce(peer, p("0011"))
+    pipeline.withdraw(peer, p("001"))
+    assert pipeline.zebra.manager.audits_run >= 2
+    assert pipeline.kernel_matches_rib()

@@ -1,0 +1,257 @@
+"""Fixture tests for the repo-specific AST lint pass.
+
+Each rule gets a minimal module that violates it (the rule fires), a
+compliant variant (it stays silent), and a ``# noqa`` waiver check.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.verify.lint import RULES, LintError, lint_paths, main
+
+
+def write(tmp_path: Path, relative: str, source: str) -> Path:
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def codes(errors: list[LintError]) -> list[str]:
+    return [error.code for error in errors]
+
+
+def test_rule_catalogue_is_complete():
+    assert sorted(RULES) == [f"REPRO00{i}" for i in range(1, 7)]
+
+
+# -- REPRO001: __slots__ on node classes -------------------------------------
+
+
+def test_missing_slots_fires(tmp_path):
+    bad = write(tmp_path, "a.py", "class TrieNode:\n    pass\n")
+    assert codes(lint_paths([bad])) == ["REPRO001"]
+
+
+def test_slots_declared_is_clean(tmp_path):
+    good = write(tmp_path, "a.py", "class TrieNode:\n    __slots__ = ()\n")
+    assert lint_paths([good]) == []
+
+
+def test_non_node_class_exempt(tmp_path):
+    good = write(tmp_path, "a.py", "class Manager:\n    pass\n")
+    assert lint_paths([good]) == []
+
+
+# -- REPRO002: trie bookkeeping writes confined to core ----------------------
+
+
+def test_trie_write_outside_core_fires(tmp_path):
+    bad = write(
+        tmp_path,
+        "experiments/mod.py",
+        "def _poke(node):\n    node.d_a = None\n",
+    )
+    assert codes(lint_paths([bad])) == ["REPRO002"]
+
+
+def test_trie_write_inside_core_allowed(tmp_path):
+    good = write(
+        tmp_path,
+        "repro/core/mod.py",
+        "def _poke(node):\n    node.d_a = None\n",
+    )
+    assert lint_paths([good]) == []
+
+
+# -- REPRO003: injected clocks only ------------------------------------------
+
+
+def test_wall_clock_fires(tmp_path):
+    bad = write(
+        tmp_path,
+        "a.py",
+        "import time\n\ndef _stamp():\n    return time.time()\n",
+    )
+    assert codes(lint_paths([bad])) == ["REPRO003"]
+
+
+def test_wall_clock_noqa_waived(tmp_path):
+    waived = write(
+        tmp_path,
+        "a.py",
+        "import time\n\ndef _stamp():\n"
+        "    return time.time()  # noqa: REPRO003\n",
+    )
+    assert lint_paths([waived]) == []
+
+
+def test_bare_noqa_waives_everything(tmp_path):
+    waived = write(
+        tmp_path,
+        "a.py",
+        "import time\n\ndef _stamp():\n    return time.time()  # noqa\n",
+    )
+    assert lint_paths([waived]) == []
+
+
+def test_injected_clock_is_clean(tmp_path):
+    good = write(
+        tmp_path,
+        "a.py",
+        "def _stamp(clock):\n    return clock()\n",
+    )
+    assert lint_paths([good]) == []
+
+
+# -- REPRO004: no self-recursive walkers -------------------------------------
+
+
+def test_recursive_function_fires(tmp_path):
+    bad = write(
+        tmp_path,
+        "a.py",
+        "def _walk(node):\n"
+        "    for child in node.children():\n"
+        "        _walk(child)\n",
+    )
+    assert codes(lint_paths([bad])) == ["REPRO004"]
+
+
+def test_recursive_method_fires(tmp_path):
+    bad = write(
+        tmp_path,
+        "a.py",
+        "class Walker:\n"
+        "    def _walk(self, node):\n"
+        "        self._walk(node.left)\n",
+    )
+    assert codes(lint_paths([bad])) == ["REPRO004"]
+
+
+def test_delegating_call_is_not_recursion(tmp_path):
+    good = write(
+        tmp_path,
+        "a.py",
+        "class Facade:\n"
+        "    def apply(self, update):\n"
+        "        return self.manager.apply(update)\n",
+    )
+    assert lint_paths([good]) == []
+
+
+# -- REPRO005: annotated public API in core/net/verify -----------------------
+
+
+def test_untyped_public_function_in_core_fires(tmp_path):
+    bad = write(
+        tmp_path,
+        "repro/core/mod.py",
+        "def walk(trie):\n    return trie\n",
+    )
+    found = codes(lint_paths([bad]))
+    assert found == ["REPRO005", "REPRO005"]  # the parameter and the return
+
+
+def test_typed_public_function_is_clean(tmp_path):
+    good = write(
+        tmp_path,
+        "repro/core/mod.py",
+        "def walk(trie: object) -> object:\n    return trie\n",
+    )
+    assert lint_paths([good]) == []
+
+
+def test_private_and_out_of_scope_functions_exempt(tmp_path):
+    good = write(
+        tmp_path,
+        "repro/workloads/mod.py",
+        "def walk(trie):\n    return trie\n",
+    )
+    private = write(
+        tmp_path,
+        "repro/core/other.py",
+        "def _walk(trie):\n    return trie\n",
+    )
+    assert lint_paths([good, private]) == []
+
+
+# -- REPRO006: no truthiness tests on __len__-bearing parameters -------------
+
+LEN_CLASS = """\
+class DownloadLog:
+    def __len__(self):
+        return 0
+"""
+
+
+def test_falsy_len_guard_fires(tmp_path):
+    write(tmp_path, "defs.py", LEN_CLASS)
+    bad = write(
+        tmp_path,
+        "use.py",
+        "def _pick(log: DownloadLog):\n"
+        "    if log:\n"
+        "        return log\n",
+    )
+    assert codes(lint_paths([tmp_path / "defs.py", bad])) == ["REPRO006"]
+
+
+def test_falsy_len_guard_unwraps_optional(tmp_path):
+    write(tmp_path, "defs.py", LEN_CLASS)
+    bad = write(
+        tmp_path,
+        "use.py",
+        "from typing import Optional\n\n"
+        "def _pick(log: Optional[DownloadLog]):\n"
+        "    return log or DownloadLog()\n",
+    )
+    assert codes(lint_paths([tmp_path / "defs.py", bad])) == ["REPRO006"]
+
+
+def test_is_not_none_guard_is_clean(tmp_path):
+    write(tmp_path, "defs.py", LEN_CLASS)
+    good = write(
+        tmp_path,
+        "use.py",
+        "def _pick(log: DownloadLog):\n"
+        "    if log is not None:\n"
+        "        return log\n",
+    )
+    assert lint_paths([tmp_path / "defs.py", good]) == []
+
+
+# -- CLI surface -------------------------------------------------------------
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    clean = write(tmp_path, "clean.py", "X = 1\n")
+    dirty = write(tmp_path, "dirty.py", "class BadNode:\n    pass\n")
+    assert main([str(clean)]) == 0
+    assert main([str(dirty)]) == 1
+    assert "REPRO001" in capsys.readouterr().out
+
+
+def test_main_select_restricts_rules(tmp_path):
+    dirty = write(
+        tmp_path,
+        "dirty.py",
+        "import time\n\nclass BadNode:\n    pass\n\n"
+        "def _stamp():\n    return time.time()\n",
+    )
+    assert main([str(dirty), "--select", "REPRO001"]) == 1
+    assert main([str(dirty), "--select", "REPRO002"]) == 0
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules", "ignored"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
+
+
+def test_whole_repo_is_clean():
+    src = Path(__file__).resolve().parents[2] / "src"
+    assert lint_paths([src]) == []
