@@ -1,0 +1,197 @@
+"""Batched-update and snapshot-fast-path benchmarks → ``BENCH_batch.json``.
+
+The paper's steady-state numbers assume one update at a time; real BGP
+feeds arrive in bursts where the same prefix flaps repeatedly. These
+benches measure what the coalescing batch path buys on such a workload
+and what the trie-fed ORTC fast path buys a snapshot, and record the
+numbers in ``BENCH_batch.json`` at the repo root — the baseline the
+ROADMAP's perf trajectory is tracked against. Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_batch.py -q
+
+Unlike the statistical micro benches, these time both sides of an A/B
+comparison with the same harness (min over repeats, fresh state per
+repeat) so the recorded speedups are self-contained and reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.equivalence import semantically_equivalent
+from repro.core.manager import SmaltaManager
+from repro.core.smalta import SmaltaState
+from repro.net.update import iter_bursts
+from repro.workloads.synthetic_updates import generate_burst_trace
+
+from .conftest import BENCH_SEED
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+BURST_COUNT = 30
+BURST_SIZE = 200
+REPEATS = 3
+
+
+def _record(key: str, payload: dict) -> None:
+    """Merge one result section into BENCH_batch.json (sorted, stable)."""
+    results: dict = {}
+    if BENCH_PATH.exists():
+        results = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    results.setdefault("_meta", {
+        "file": "BENCH_batch.json",
+        "harness": "benchmarks/test_bench_batch.py",
+        "seed": BENCH_SEED,
+        "note": "min-of-repeats wall clock; fresh state per repeat",
+    })
+    results[key] = payload
+    BENCH_PATH.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def _loaded_manager(table) -> SmaltaManager:
+    manager = SmaltaManager(width=32)
+    for prefix, nexthop in table.items():
+        manager.state.load(prefix, nexthop)
+    manager.loading = False
+    manager.state.snapshot()
+    return manager
+
+
+@pytest.fixture(scope="module")
+def burst_trace(bench_table):
+    table, nexthops = bench_table
+    rng = random.Random(BENCH_SEED + 2)
+    trace = generate_burst_trace(
+        table,
+        burst_count=BURST_COUNT,
+        burst_size=BURST_SIZE,
+        nexthops=nexthops,
+        rng=rng,
+    )
+    bursts = list(iter_bursts(trace, max_gap_s=0.02))
+    assert len(bursts) == BURST_COUNT
+    return trace, bursts
+
+
+def test_bench_batch_vs_sequential(bench_table, burst_trace):
+    """Throughput of apply_batch per burst vs apply per update.
+
+    The acceptance floor is 1.5x; flap-heavy bursts coalesce so well
+    that the measured ratio is typically an order of magnitude.
+    """
+    table, _ = bench_table
+    trace, bursts = burst_trace
+
+    sequential_s = float("inf")
+    sequential_downloads = 0
+    for _ in range(REPEATS):
+        manager = _loaded_manager(table)
+        started = time.perf_counter()
+        count = 0
+        for update in trace:
+            count += len(manager.apply(update))
+        sequential_s = min(sequential_s, time.perf_counter() - started)
+        sequential_downloads = count
+        sequential_manager = manager
+
+    batch_s = float("inf")
+    batch_downloads = 0
+    for _ in range(REPEATS):
+        manager = _loaded_manager(table)
+        started = time.perf_counter()
+        count = 0
+        for burst in bursts:
+            count += len(manager.apply_batch(burst))
+        batch_s = min(batch_s, time.perf_counter() - started)
+        batch_downloads = count
+        batch_manager = manager
+
+    # Both paths agree on the OT and forward identically.
+    assert sequential_manager.state.ot_table() == batch_manager.state.ot_table()
+    assert semantically_equivalent(
+        batch_manager.state.ot_table(), batch_manager.state.at_table(), 32
+    )
+
+    speedup = sequential_s / batch_s
+    updates = len(trace)
+    _record(
+        "batch_vs_sequential",
+        {
+            "workload": (
+                f"{BURST_COUNT} bursts x {BURST_SIZE} updates, flap-heavy, "
+                f"{len(table)}-prefix table"
+            ),
+            "updates": updates,
+            "sequential_s": round(sequential_s, 6),
+            "batch_s": round(batch_s, 6),
+            "sequential_updates_per_s": round(updates / sequential_s, 1),
+            "batch_updates_per_s": round(updates / batch_s, 1),
+            "speedup": round(speedup, 2),
+            "sequential_downloads": sequential_downloads,
+            "batch_downloads": batch_downloads,
+            "download_reduction": round(
+                sequential_downloads / max(1, batch_downloads), 2
+            ),
+        },
+    )
+    assert speedup >= 1.5, f"batch speedup {speedup:.2f}x below the 1.5x floor"
+
+
+def test_bench_snapshot_fast_path(bench_table):
+    """snapshot(fast=True) (trie-fed ORTC + interned sets) vs baseline."""
+    table, _ = bench_table
+    state = SmaltaState(32)
+    for prefix, nexthop in table.items():
+        state.load(prefix, nexthop)
+    state.snapshot()
+
+    timings = {True: float("inf"), False: float("inf")}
+    # Interleave modes so neither benefits from cache warm-up ordering.
+    for _ in range(REPEATS):
+        for fast in (False, True):
+            started = time.perf_counter()
+            state.snapshot(fast=fast)
+            timings[fast] = min(timings[fast], time.perf_counter() - started)
+
+    speedup = timings[False] / timings[True]
+    _record(
+        "snapshot_fast_path",
+        {
+            "workload": f"snapshot(OT) over a {len(table)}-prefix table",
+            "baseline_s": round(timings[False], 6),
+            "fast_s": round(timings[True], 6),
+            "speedup": round(speedup, 2),
+        },
+    )
+    # The fast path must never be a regression (the batch speedup above
+    # is the headline; this one is a steady incremental win).
+    assert speedup >= 0.95, f"fast snapshot slower than baseline: {speedup:.2f}x"
+
+
+def test_bench_burst_coalescing_ratio(bench_table, burst_trace):
+    """Net ops per burst after coalescing — how much work batching removes."""
+    table, _ = bench_table
+    _, bursts = burst_trace
+    total = sum(len(burst) for burst in bursts)
+    net = 0
+    for burst in bursts:
+        seen = {}
+        for update in burst:
+            seen[update.prefix] = update.nexthop
+        net += len(seen)
+    _record(
+        "burst_coalescing",
+        {
+            "updates": total,
+            "net_ops": net,
+            "coalescing_factor": round(total / max(1, net), 2),
+        },
+    )
+    assert net < total

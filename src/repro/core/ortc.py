@@ -24,10 +24,13 @@ explicit null-route entries.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.net.nexthop import DROP, Nexthop
 from repro.net.prefix import Prefix
+
+if TYPE_CHECKING:
+    from repro.core.trie import FibTrie
 
 
 class _ONode:
@@ -70,8 +73,47 @@ def _merge(a: frozenset[Nexthop], b: frozenset[Nexthop]) -> frozenset[Nexthop]:
     return inter if inter else a | b
 
 
+class _SetInterner:
+    """Deduplicates the pass-2 candidate sets, the dominant allocation.
+
+    Real tables have few distinct nexthops, so the same small frozensets
+    recur millions of times across nodes. Interning makes every distinct
+    set exist once; because members are interned, the merge of two sets
+    can additionally be memoized by identity, skipping the set algebra
+    itself on repeats. The caches hold references, so the ids used as
+    keys stay valid for the interner's lifetime (one ORTC run).
+    """
+
+    __slots__ = ("_singletons", "_interned", "_merges")
+
+    def __init__(self) -> None:
+        self._singletons: dict[Nexthop, frozenset[Nexthop]] = {}
+        self._interned: dict[frozenset[Nexthop], frozenset[Nexthop]] = {}
+        self._merges: dict[tuple[int, int], frozenset[Nexthop]] = {}
+
+    def singleton(self, value: Nexthop) -> frozenset[Nexthop]:
+        got = self._singletons.get(value)
+        if got is None:
+            fresh = frozenset((value,))
+            got = self._interned.setdefault(fresh, fresh)
+            self._singletons[value] = got
+        return got
+
+    def merge(self, a: frozenset[Nexthop], b: frozenset[Nexthop]) -> frozenset[Nexthop]:
+        if a is b:
+            return a
+        key = (id(a), id(b)) if id(a) <= id(b) else (id(b), id(a))
+        got = self._merges.get(key)
+        if got is None:
+            fresh = _merge(a, b)
+            got = self._interned.setdefault(fresh, fresh)
+            self._merges[key] = got
+        return got
+
+
 def _bottom_up(root: _ONode) -> None:
     """Passes 1+2: compute effective inherited labels and candidate sets."""
+    interner = _SetInterner()
     # Iterative post-order: (node, inherited, expanded?) frames.
     stack: list[tuple[_ONode, Nexthop, bool]] = [(root, DROP, False)]
     while stack:
@@ -86,12 +128,12 @@ def _bottom_up(root: _ONode) -> None:
                 stack.append((node.left, eff, False))
             continue
         if node.left is None and node.right is None:
-            node.nhset = frozenset((eff,))
+            node.nhset = interner.singleton(eff)
         else:
-            phantom = frozenset((eff,))
+            phantom = interner.singleton(eff)
             left_set = node.left.nhset if node.left is not None else phantom
             right_set = node.right.nhset if node.right is not None else phantom
-            node.nhset = _merge(left_set, right_set)
+            node.nhset = interner.merge(left_set, right_set)
 
 
 def _top_down(root: _ONode, width: int) -> dict[Prefix, Nexthop]:
@@ -136,3 +178,32 @@ def ortc(
     root = _build(entries, width)
     _bottom_up(root)
     return _top_down(root, width)
+
+
+def ortc_from_trie(trie: FibTrie) -> dict[Prefix, Nexthop]:
+    """Snapshot fast path: ORTC fed directly from the live union trie.
+
+    Mirrors the :class:`~repro.core.trie.FibTrie` structure into the
+    scratch tree in a single walk — no ``ot_table()`` dict, no per-entry
+    bit-by-bit re-insertion from the root — then runs passes 2 and 3
+    unchanged. The mirror may contain extra unlabeled leaves (nodes that
+    exist only for AT labels or bookkeeping); these are semantically the
+    phantom leaves pass 1 already models — an unlabeled leaf carries the
+    singleton set of its inherited nexthop, exactly what a missing child
+    contributes — so the output table is *identical* to
+    ``ortc(trie.ot_entries(), trie.width)``, which the differential tests
+    assert.
+    """
+    root = _ONode()
+    stack = [(trie.root, root)]
+    while stack:
+        node, mirror = stack.pop()
+        mirror.label = node.d_o
+        if node.left is not None:
+            mirror.left = _ONode()
+            stack.append((node.left, mirror.left))
+        if node.right is not None:
+            mirror.right = _ONode()
+            stack.append((node.right, mirror.right))
+    _bottom_up(root)
+    return _top_down(root, trie.width)

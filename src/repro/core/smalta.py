@@ -5,6 +5,9 @@
 - ``insert(N, Q)`` — Algorithm 1,
 - ``delete(N)``   — Algorithm 2,
 - the shared repair procedure ``_reclaim(E, alpha, beta)`` — Algorithm 3,
+- ``apply_batch(ops)`` — a burst of updates coalesced to their per-prefix
+  net effect before Algorithms 1–2 run, with one download drain for the
+  whole burst,
 - ``snapshot()``  — the ORTC rebuild plus the FIB-download delta,
 - ``load(N, Q)``  — OT-only population used before End-of-RIB.
 
@@ -23,10 +26,10 @@ which :class:`~repro.core.manager.SmaltaManager` forwards to the FIB.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.downloads import FibDownload, diff_tables
-from repro.core.ortc import ortc
+from repro.core.ortc import ortc, ortc_from_trie
 from repro.core.trie import FibTrie, Node
 from repro.net.nexthop import DROP, Nexthop
 from repro.net.prefix import Prefix
@@ -135,6 +138,11 @@ class SmaltaState:
 
     def insert(self, prefix: Prefix, nexthop: Nexthop) -> list[FibDownload]:
         """Algorithm 1 — Insert(N, Q): add or change a prefix's nexthop."""
+        self._insert(prefix, nexthop)
+        return self._drain_downloads()
+
+    def _insert(self, prefix: Prefix, nexthop: Nexthop) -> None:
+        """Algorithm 1 without the download drain (shared with batching)."""
         if nexthop == DROP:
             raise ValueError("cannot insert the null nexthop; use delete")
         trie = self.trie
@@ -145,7 +153,7 @@ class SmaltaState:
             # no-op, no AT repair required. # paper: not spelled out; BGP
             # duplicates are common and must not churn the AT.
             trie.prune(node_n)
-            return []
+            return
 
         # Values indexed O (before the update):
         p_node = trie.psi_eq_o(prefix)  # P := Ψ=_O(N); may be n(N) itself
@@ -191,10 +199,14 @@ class SmaltaState:
             self._reclaim(node_e, nexthop, d_o_p)
             trie.prune(node_e)
         trie.prune(trie.ensure(prefix))
-        return self._drain_downloads()
 
     def delete(self, prefix: Prefix) -> list[FibDownload]:
         """Algorithm 2 — Delete(N): remove a prefix (requires d_O(N) ≠ ε)."""
+        self._delete(prefix)
+        return self._drain_downloads()
+
+    def _delete(self, prefix: Prefix) -> None:
+        """Algorithm 2 without the download drain (shared with batching)."""
         trie = self.trie
         node_n = trie.find(prefix)
         if node_n is None or node_n.d_o is None:
@@ -255,6 +267,47 @@ class SmaltaState:
                 trie.set_pi(node_e, p_preimage)
             self._reclaim(node_e, d_o_p, d_o_n)
             trie.prune(node_e)
+
+    def apply_batch(
+        self, ops: Iterable[tuple[Prefix, Optional[Nexthop]]]
+    ) -> list[FibDownload]:
+        """Incorporate a burst of updates on their per-prefix *net* effect.
+
+        ``ops`` is a sequence of ``(prefix, nexthop)`` pairs where a None
+        nexthop means withdraw. Coalescing semantics (FAQS-style burst
+        handling):
+
+        - the **last** operation per prefix wins — a flap that announces,
+          withdraws, and re-announces within one burst runs Algorithms
+          1–2 once, on the final state;
+        - a net operation that matches the current OT (re-announce of the
+          live nexthop, or a withdraw of a prefix the OT does not hold —
+          e.g. an announce+withdraw pair born and cancelled inside the
+          burst) is skipped entirely, like zebra's duplicate tolerance;
+        - AT label events accumulate across the whole burst and are
+          drained **once**, so an insert whose downloads a later delete
+          reverts collapses to no download at all.
+
+        This is semantically equivalent to applying the burst one update
+        at a time (the withdraw-of-absent case matching the manager's
+        KeyError tolerance): each skipped operation is a sequential
+        no-op or a cancelling pair, and Algorithms 1–2 only depend on the
+        OT/AT state, not on the update history. The exact AT labels may
+        differ from the sequential ones (SMALTA's AT is path-dependent),
+        but OT ≡ AT holds on both sides — the differential test suite
+        (``tests/core/test_batch_differential.py``) discharges this.
+        """
+        net: dict[Prefix, Optional[Nexthop]] = {}
+        for prefix, nexthop in ops:
+            net[prefix] = nexthop
+        for prefix, nexthop in net.items():
+            if nexthop is None:
+                node = self.trie.find(prefix)
+                if node is None or node.d_o is None:
+                    continue  # net withdraw of a prefix the OT never held
+                self._delete(prefix)
+            else:
+                self._insert(prefix, nexthop)
         return self._drain_downloads()
 
     # -- Algorithm 3 ------------------------------------------------------
@@ -285,15 +338,25 @@ class SmaltaState:
 
     # -- snapshot -----------------------------------------------------------
 
-    def snapshot(self) -> list[FibDownload]:
+    def snapshot(self, fast: bool = True) -> list[FibDownload]:
         """snapshot(OT): rebuild the AT optimally via ORTC (Section 2.1).
 
         Returns the FIB-download delta between the pre- and post-snapshot
         ATs using the paper's Graceful-Restart accounting (a changed
         nexthop is a Delete followed by an Insert).
+
+        With ``fast=True`` (the default) the ORTC scratch tree is built
+        by mirroring the live union trie in one walk
+        (:func:`~repro.core.ortc.ortc_from_trie`) instead of re-inserting
+        every OT entry bit-by-bit from the root; ``fast=False`` keeps the
+        entry-stream baseline the batch benchmark compares against. Both
+        produce the identical optimal table.
         """
         trie = self.trie
-        new_table = ortc(trie.ot_entries(), trie.width)
+        if fast:
+            new_table = ortc_from_trie(trie)
+        else:
+            new_table = ortc(trie.ot_entries(), trie.width)
         old_table = trie.at_table()
         downloads = diff_tables(old_table, new_table)
 

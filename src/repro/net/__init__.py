@@ -8,7 +8,7 @@ BGP machinery in :mod:`repro.bgp`, and the workload generators in
 
 from repro.net.nexthop import DROP, Nexthop, NexthopRegistry, RoundRobinIgpMapper
 from repro.net.prefix import IPV4_WIDTH, IPV6_WIDTH, Prefix
-from repro.net.update import RouteUpdate, UpdateKind, UpdateTrace
+from repro.net.update import RouteUpdate, UpdateKind, UpdateTrace, iter_bursts
 
 __all__ = [
     "DROP",
@@ -21,4 +21,5 @@ __all__ = [
     "RouteUpdate",
     "UpdateKind",
     "UpdateTrace",
+    "iter_bursts",
 ]

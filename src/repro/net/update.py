@@ -107,3 +107,40 @@ class UpdateTrace:
             "unique_prefixes": len(self.touched_prefixes()),
             "duration_s": self.duration,
         }
+
+
+def iter_bursts(
+    updates: Iterable[RouteUpdate],
+    max_gap_s: Optional[float] = None,
+    max_size: Optional[int] = None,
+) -> Iterator[list[RouteUpdate]]:
+    """Group a stream of updates into bursts for batched incorporation.
+
+    A burst closes when the inter-arrival gap to the next update exceeds
+    ``max_gap_s`` (BGP bursts are separated by quiet periods) or when it
+    reaches ``max_size`` updates (a bound on FIB-update latency: the
+    first update of a burst is not applied until the burst closes). At
+    least one criterion must be given; every yielded burst is non-empty
+    and the concatenation of all bursts is the input stream, in order.
+    """
+    if max_gap_s is None and max_size is None:
+        raise ValueError("need max_gap_s and/or max_size")
+    if max_gap_s is not None and max_gap_s < 0:
+        raise ValueError("max_gap_s must be >= 0")
+    if max_size is not None and max_size < 1:
+        raise ValueError("max_size must be >= 1")
+    burst: list[RouteUpdate] = []
+    last_timestamp = 0.0
+    for update in updates:
+        gap_exceeded = (
+            burst
+            and max_gap_s is not None
+            and (update.timestamp - last_timestamp) > max_gap_s
+        )
+        if burst and (gap_exceeded or (max_size is not None and len(burst) >= max_size)):
+            yield burst
+            burst = []
+        burst.append(update)
+        last_timestamp = update.timestamp
+    if burst:
+        yield burst

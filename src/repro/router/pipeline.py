@@ -18,7 +18,7 @@ from repro.core.downloads import DownloadLog
 from repro.core.policy import SnapshotPolicy
 from repro.net.nexthop import Nexthop, RoundRobinIgpMapper
 from repro.net.prefix import Prefix
-from repro.net.update import RouteUpdate, UpdateKind, UpdateTrace
+from repro.net.update import RouteUpdate, UpdateKind, UpdateTrace, iter_bursts
 from repro.router.kernel import KernelFib
 from repro.router.zebra import Zebra
 from repro.verify.audit import AuditConfig
@@ -133,10 +133,25 @@ class RouterPipeline:
         self.zebra.end_of_rib()
         self._account_snapshots()
 
-    def run_trace(self, trace: UpdateTrace) -> PipelineStats:
-        """Replay an already-best-path-selected trace (the IGR data set)."""
-        for update in trace:
-            self._forward([update])
+    def run_trace(
+        self,
+        trace: UpdateTrace,
+        batch_size: Optional[int] = None,
+        burst_gap_s: Optional[float] = None,
+    ) -> PipelineStats:
+        """Replay an already-best-path-selected trace (the IGR data set).
+
+        With ``batch_size`` and/or ``burst_gap_s`` set, updates are
+        grouped into bursts (:func:`~repro.net.update.iter_bursts`) and
+        incorporated through the coalescing batch path — same final FIB,
+        fewer algorithm runs and kernel downloads on flap-heavy feeds.
+        """
+        if batch_size is None and burst_gap_s is None:
+            for update in trace:
+                self._forward([update])
+            return self.stats
+        for burst in iter_bursts(trace, max_gap_s=burst_gap_s, max_size=batch_size):
+            self._forward_batch(burst)
         return self.stats
 
     # -- internals ---------------------------------------------------------------------
@@ -156,6 +171,23 @@ class RouterPipeline:
             self.stats.updates_processed += 1
             if self.download_log.snapshot_count > snapshots_before:
                 self._account_snapshots()
+        self.stats.fib_downloads = self.download_log.total
+
+    def _forward_batch(self, updates: list[RouteUpdate]) -> None:
+        """Push one burst through zebra's coalescing batch path."""
+        mapped: list[RouteUpdate] = []
+        for update in updates:
+            if update.kind is UpdateKind.ANNOUNCE:
+                assert update.nexthop is not None
+                update = RouteUpdate.announce(
+                    update.prefix, self._igp(update.nexthop), update.timestamp
+                )
+            mapped.append(update)
+        snapshots_before = self.download_log.snapshot_count
+        self.zebra.apply_batch(mapped)
+        self.stats.updates_processed += len(mapped)
+        if self.download_log.snapshot_count > snapshots_before:
+            self._account_snapshots()
         self.stats.fib_downloads = self.download_log.total
 
     def _account_snapshots(self) -> None:

@@ -13,7 +13,7 @@ seam, including runtime activation and deactivation from the CLI:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.downloads import DownloadLog, FibDownload, diff_tables
 from repro.core.manager import SmaltaManager
@@ -68,6 +68,16 @@ class Zebra:
 
     def apply_update(self, update: RouteUpdate) -> list[FibDownload]:
         downloads = self.manager.apply(update)
+        self.kernel.apply_all(downloads)
+        return downloads
+
+    def apply_batch(self, updates: Iterable[RouteUpdate]) -> list[FibDownload]:
+        """One burst through SMALTA and into the kernel as a single delta.
+
+        The kernel sees only the burst's coalesced net downloads — an
+        announce+withdraw pair inside the burst never reaches it.
+        """
+        downloads = self.manager.apply_batch(updates)
         self.kernel.apply_all(downloads)
         return downloads
 

@@ -19,8 +19,9 @@ refactor aggressively:
   trie walkers recursing per bit overflow the interpreter stack at
   width 128 (IPv6); use an explicit stack.
 - **REPRO005** ``untyped-public`` — public functions and methods in
-  ``repro/core`` and ``repro/verify`` must annotate every parameter and
-  the return type (the ``mypy --strict`` floor).
+  ``repro/core``, ``repro/net``, ``repro/verify``, ``repro/fib`` and
+  ``repro/router`` must annotate every parameter and the return type
+  (the ``mypy --strict`` floor).
 - **REPRO006** ``falsy-len-guard`` — no truthiness tests on parameters
   whose annotated type defines ``__len__`` (e.g. ``DownloadLog``): an
   empty-but-present object is falsy, so ``log or DownloadLog()``
@@ -64,7 +65,7 @@ WALL_CLOCK = frozenset(
 )
 
 #: Packages whose public functions must be fully annotated (REPRO005).
-ANNOTATED_PACKAGES = ("core", "net", "verify")
+ANNOTATED_PACKAGES = ("core", "net", "verify", "fib", "router")
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,11 @@ from repro.workloads.routeviews import (
 )
 from repro.workloads.scale import scale_factor, scaled
 from repro.workloads.synthetic_table import TableProfile, generate_table
-from repro.workloads.synthetic_updates import UpdateMix, generate_update_trace
+from repro.workloads.synthetic_updates import (
+    UpdateMix,
+    generate_burst_trace,
+    generate_update_trace,
+)
 from repro.workloads.trace_io import (
     load_table,
     load_trace,
@@ -51,6 +55,7 @@ __all__ = [
     "effective_nexthops",
     "entropy_bits",
     "generate_table",
+    "generate_burst_trace",
     "generate_update_trace",
     "load_table",
     "load_trace",

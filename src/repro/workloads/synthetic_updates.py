@@ -185,3 +185,101 @@ def generate_update_trace(
             trace.append(RouteUpdate.withdraw(prefix, tick()))
             retired += 1
     return trace
+
+
+def generate_burst_trace(
+    table: dict[Prefix, Nexthop],
+    burst_count: int,
+    burst_size: int,
+    nexthops: Sequence[Nexthop],
+    rng: random.Random,
+    flappy_fraction: float = 0.02,
+    popularity_exponent: float = 1.1,
+    working_set: int | None = None,
+    intra_burst_gap_s: float = 0.02,
+    inter_burst_gap_s: float = 30.0,
+    name: str = "synthetic-bursts",
+) -> UpdateTrace:
+    """A flap-heavy *burst* trace: the batched-update workload.
+
+    Real BGP feeds deliver updates in bursts separated by quiet periods,
+    and within a burst the same small set of unstable prefixes flaps
+    repeatedly (the FAQS observation). Each of the ``burst_count`` bursts
+    here draws a working set of ``working_set`` flappy prefixes (default
+    ``burst_size // 8``, so every prefix is touched ~8 times per burst)
+    and emits ``burst_size`` withdraw/re-announce/path-flip/duplicate
+    events over them.
+
+    The trace is replayable (withdraws only target live prefixes) and
+    burst boundaries are recoverable: intra-burst gaps are strictly
+    bounded by ``intra_burst_gap_s`` while bursts are separated by
+    ``inter_burst_gap_s``, so
+    ``iter_bursts(trace, max_gap_s=intra_burst_gap_s)`` re-yields exactly
+    the generated bursts.
+    """
+    if burst_count < 0 or burst_size < 1:
+        raise ValueError("burst_count must be >= 0 and burst_size >= 1")
+    if not table and burst_count:
+        raise ValueError("cannot generate bursts against an empty table")
+    if inter_burst_gap_s <= intra_burst_gap_s:
+        raise ValueError("inter_burst_gap_s must exceed intra_burst_gap_s")
+    live: dict[Prefix, Nexthop] = dict(table)
+    population = list(live)
+    rng.shuffle(population)
+    flappy_count = max(1, int(len(population) * flappy_fraction))
+    flappy = population[:flappy_count]
+    weights = zipf_weights(flappy_count, popularity_exponent)
+    nexthop_pool = list(nexthops)
+    alternates: dict[Prefix, Nexthop] = {}
+    if working_set is None:
+        working_set = max(1, burst_size // 8)
+
+    trace = UpdateTrace(name=name)
+    timestamp = 0.0
+    for _ in range(burst_count):
+        timestamp += inter_burst_gap_s
+        chosen: list[Prefix] = []
+        seen: set[Prefix] = set()
+        # Weighted draw of a distinct working set (flappy_count may be
+        # smaller than working_set; duplicates are simply dropped).
+        for candidate in rng.choices(flappy, weights=weights, k=working_set * 3):
+            if candidate not in seen:
+                seen.add(candidate)
+                chosen.append(candidate)
+            if len(chosen) >= working_set:
+                break
+        for _ in range(burst_size):
+            # Strictly bounded intra-burst gap keeps bursts recoverable.
+            timestamp += intra_burst_gap_s * rng.random() * 0.999
+            prefix = rng.choice(chosen)
+            original = table.get(prefix)
+            current = live.get(prefix)
+            if current is None:
+                nexthop = (
+                    original if original is not None else rng.choice(nexthop_pool)
+                )
+                trace.append(RouteUpdate.announce(prefix, nexthop, timestamp))
+                live[prefix] = nexthop
+                continue
+            roll = rng.random()
+            if roll < 0.45:
+                del live[prefix]
+                trace.append(RouteUpdate.withdraw(prefix, timestamp))
+            elif roll < 0.60:
+                # Duplicate re-announcement (same nexthop, FIB no-op).
+                trace.append(RouteUpdate.announce(prefix, current, timestamp))
+            else:
+                alternate = alternates.get(prefix)
+                if alternate is None:
+                    alternate = rng.choice(nexthop_pool)
+                    alternates[prefix] = alternate
+                flipped = alternate if current == original else original
+                if flipped is None or flipped == current:
+                    flipped = alternate
+                if flipped == current:
+                    del live[prefix]
+                    trace.append(RouteUpdate.withdraw(prefix, timestamp))
+                else:
+                    trace.append(RouteUpdate.announce(prefix, flipped, timestamp))
+                    live[prefix] = flipped
+    return trace

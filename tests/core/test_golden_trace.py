@@ -1,0 +1,111 @@
+"""Golden-trace regression: frozen end-to-end numbers for a checked-in trace.
+
+``tests/data/golden_table.txt`` (400 prefixes) and
+``tests/data/golden_trace.txt`` (600 updates in 12 bursts of 50,
+flap-heavy) were generated once with seed 20110712 and committed. The
+expected ``SmaltaManager.summary()`` values below are *frozen*: a perf
+refactor that changes any of them — download counts, FIB sizes, snapshot
+burst sizes — has changed observable behaviour, not just speed, and must
+either be a bug or justify updating these numbers explicitly in review.
+
+The sequential and batched paths are both pinned. They share every
+snapshot number (snapshots trigger at the same update counts and ORTC is
+deterministic) and differ exactly where coalescing says they must:
+per-update downloads (595 sequential vs 53 batched, the ~11x reduction
+the batch engine exists for).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.equivalence import semantically_equivalent
+from repro.core.manager import SmaltaManager
+from repro.core.policy import PeriodicUpdateCountPolicy
+from repro.net.update import iter_bursts
+from repro.workloads.trace_io import load_table, load_trace
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+SNAPSHOT_SPACING = 100
+
+EXPECTED_COMMON = {
+    "updates_received": 600,
+    "ot_size": 390,
+    "fib_size": 208,
+    "snapshot_downloads": 279,
+    "snapshots": 7,
+    "mean_snapshot_burst": pytest.approx(279 / 7),
+    "audits_run": 0,
+}
+EXPECTED_SNAPSHOT_BURSTS = [204, 8, 15, 7, 15, 9, 21]
+EXPECTED_SEQUENTIAL_UPDATE_DOWNLOADS = 595
+EXPECTED_BATCH_UPDATE_DOWNLOADS = 53
+
+
+@pytest.fixture(scope="module")
+def golden():
+    table, registry = load_table(DATA / "golden_table.txt")
+    trace, _ = load_trace(DATA / "golden_trace.txt", registry)
+    assert len(table) == 400 and len(trace) == 600
+    return table, trace
+
+
+def fresh_manager(table) -> SmaltaManager:
+    manager = SmaltaManager(
+        width=32, policy=PeriodicUpdateCountPolicy(SNAPSHOT_SPACING)
+    )
+    for prefix, nexthop in table.items():
+        manager.state.load(prefix, nexthop)
+    manager.end_of_rib()
+    return manager
+
+
+def check_common(manager: SmaltaManager) -> None:
+    summary = manager.summary()
+    for key, expected in EXPECTED_COMMON.items():
+        assert summary[key] == expected, (key, summary[key], expected)
+    assert manager.log.snapshot_bursts == EXPECTED_SNAPSHOT_BURSTS
+    assert semantically_equivalent(
+        manager.state.ot_table(), manager.fib_table(), 32
+    )
+
+
+def test_golden_sequential(golden):
+    table, trace = golden
+    manager = fresh_manager(table)
+    for update in trace:
+        manager.apply(update)
+    check_common(manager)
+    assert (
+        manager.summary()["update_downloads"]
+        == EXPECTED_SEQUENTIAL_UPDATE_DOWNLOADS
+    )
+
+
+def test_golden_batched(golden):
+    table, trace = golden
+    manager = fresh_manager(table)
+    bursts = list(iter_bursts(trace, max_gap_s=0.02))
+    assert len(bursts) == 12 and all(len(b) == 50 for b in bursts)
+    for burst in bursts:
+        manager.apply_batch(burst)
+    check_common(manager)
+    assert (
+        manager.summary()["update_downloads"] == EXPECTED_BATCH_UPDATE_DOWNLOADS
+    )
+
+
+def test_golden_paths_agree(golden):
+    """Beyond the frozen numbers: the two paths' final FIBs forward alike."""
+    table, trace = golden
+    seq = fresh_manager(table)
+    for update in trace:
+        seq.apply(update)
+    bat = fresh_manager(table)
+    for burst in iter_bursts(trace, max_gap_s=0.02):
+        bat.apply_batch(burst)
+    assert seq.state.ot_table() == bat.state.ot_table()
+    assert semantically_equivalent(seq.fib_table(), bat.fib_table(), 32)

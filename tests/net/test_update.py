@@ -74,3 +74,51 @@ class TestUpdateTrace:
         trace = UpdateTrace()
         trace.extend([RouteUpdate.withdraw(P), RouteUpdate.withdraw(P)])
         assert trace.withdraw_count == 2
+
+
+class TestIterBursts:
+    def make_updates(self, stamps):
+        return [RouteUpdate.withdraw(P, timestamp=t) for t in stamps]
+
+    def test_grouping_by_gap(self):
+        from repro.net.update import iter_bursts
+
+        updates = self.make_updates([0.0, 0.1, 0.2, 10.0, 10.1, 30.0])
+        bursts = list(iter_bursts(updates, max_gap_s=1.0))
+        assert [len(b) for b in bursts] == [3, 2, 1]
+
+    def test_grouping_by_size(self):
+        from repro.net.update import iter_bursts
+
+        updates = self.make_updates([float(i) for i in range(7)])
+        bursts = list(iter_bursts(updates, max_size=3))
+        assert [len(b) for b in bursts] == [3, 3, 1]
+
+    def test_combined_criteria(self):
+        from repro.net.update import iter_bursts
+
+        updates = self.make_updates([0.0, 0.1, 0.2, 0.3, 9.0])
+        bursts = list(iter_bursts(updates, max_gap_s=1.0, max_size=2))
+        assert [len(b) for b in bursts] == [2, 2, 1]
+
+    def test_concatenation_preserves_stream(self):
+        from repro.net.update import iter_bursts
+
+        updates = self.make_updates([0.0, 0.5, 5.0, 5.1])
+        flat = [u for b in iter_bursts(updates, max_gap_s=1.0) for u in b]
+        assert flat == updates
+
+    def test_empty_stream(self):
+        from repro.net.update import iter_bursts
+
+        assert list(iter_bursts([], max_size=4)) == []
+
+    def test_validation(self):
+        from repro.net.update import iter_bursts
+
+        with pytest.raises(ValueError):
+            list(iter_bursts([], ))
+        with pytest.raises(ValueError):
+            list(iter_bursts([], max_gap_s=-1.0))
+        with pytest.raises(ValueError):
+            list(iter_bursts([], max_size=0))

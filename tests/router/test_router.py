@@ -210,3 +210,113 @@ class TestCli:
     def test_whitespace_tolerant(self):
         cli = self.make_cli()
         assert "enabled" in cli.execute("  show   SMALTA   status ")
+
+
+class TestZebraBatch:
+    def make_loaded_zebra(self) -> Zebra:
+        zebra = Zebra(width=8, smalta_enabled=True)
+        zebra.rib_install_kernel(bp("10"), A)
+        zebra.rib_install_kernel(bp("11"), A)
+        zebra.rib_install_kernel(bp("0"), B)
+        zebra.end_of_rib()
+        return zebra
+
+    def test_kernel_tracks_fib_after_batch(self):
+        zebra = self.make_loaded_zebra()
+        zebra.apply_batch(
+            [
+                RouteUpdate.announce(bp("101"), B),
+                RouteUpdate.withdraw(bp("11")),
+                RouteUpdate.announce(bp("101"), A),  # flip, last wins
+            ]
+        )
+        assert zebra.kernel.table() == zebra.manager.fib_table()
+        assert semantically_equivalent(
+            zebra.manager.state.ot_table(), zebra.kernel.table(), 8
+        )
+        assert zebra.manager.state.ot_table()[bp("101")] == A
+        assert bp("11") not in zebra.manager.state.ot_table()
+
+    def test_cancelling_pair_touches_nothing(self):
+        zebra = self.make_loaded_zebra()
+        before = zebra.kernel.table()
+        installs = zebra.kernel.installs
+        zebra.apply_batch(
+            [
+                RouteUpdate.announce(bp("1000"), B),
+                RouteUpdate.withdraw(bp("1000")),
+            ]
+        )
+        assert zebra.kernel.table() == before
+        assert zebra.kernel.installs == installs
+
+    def test_batch_matches_sequential_zebra(self):
+        burst = [
+            RouteUpdate.announce(bp("101"), B),
+            RouteUpdate.withdraw(bp("0")),
+            RouteUpdate.announce(bp("011"), A),
+        ]
+        batched = self.make_loaded_zebra()
+        batched.apply_batch(burst)
+        sequential = self.make_loaded_zebra()
+        for update in burst:
+            sequential.apply_update(update)
+        assert (
+            batched.manager.state.ot_table()
+            == sequential.manager.state.ot_table()
+        )
+        assert semantically_equivalent(
+            batched.kernel.table(), sequential.kernel.table(), 8
+        )
+
+
+class TestPipelineBatched:
+    def make_replay(self, rng: random.Random):
+        from repro.workloads.synthetic_table import TableProfile, generate_table
+        from repro.workloads.synthetic_updates import generate_burst_trace
+
+        nexthops = NH[:4]
+        profile = TableProfile(width=8)
+        table = generate_table(120, nexthops, rng, profile=profile)
+        trace = generate_burst_trace(
+            table, burst_count=8, burst_size=50, nexthops=nexthops, rng=rng
+        )
+        return table, trace
+
+    def run_pipeline(self, table, trace, **kwargs):
+        pipeline = RouterPipeline(width=8, policy=PeriodicUpdateCountPolicy(100))
+        pipeline.load_table(table)
+        pipeline.end_of_rib()
+        stats = pipeline.run_trace(trace, **kwargs)
+        return pipeline, stats
+
+    def test_batched_trace_replay(self, rng: random.Random):
+        table, trace = self.make_replay(rng)
+        pipeline, stats = self.run_pipeline(
+            table, trace, burst_gap_s=0.02
+        )
+        assert stats.updates_processed == len(trace)
+        assert pipeline.kernel_matches_rib()
+
+    def test_batched_matches_sequential(self, rng: random.Random):
+        table, trace = self.make_replay(rng)
+        seq_pipeline, seq_stats = self.run_pipeline(table, trace)
+        bat_pipeline, bat_stats = self.run_pipeline(
+            table, trace, burst_gap_s=0.02, batch_size=64
+        )
+        assert bat_stats.updates_processed == seq_stats.updates_processed
+        assert (
+            bat_pipeline.zebra.manager.state.ot_table()
+            == seq_pipeline.zebra.manager.state.ot_table()
+        )
+        assert semantically_equivalent(
+            bat_pipeline.zebra.kernel.table(),
+            seq_pipeline.zebra.kernel.table(),
+            8,
+        )
+
+    def test_size_only_batching(self, rng: random.Random):
+        table, trace = self.make_replay(rng)
+        pipeline, stats = self.run_pipeline(table, trace, batch_size=32)
+        assert stats.updates_processed == len(trace)
+        assert pipeline.kernel_matches_rib()

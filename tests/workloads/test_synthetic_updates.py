@@ -86,3 +86,67 @@ class TestTrace:
     def test_zero_updates(self, rng, setup):
         table, nexthops = setup
         assert len(generate_update_trace(table, 0, nexthops, rng)) == 0
+
+
+class TestBurstTrace:
+    def make_bursty(self, rng, setup, **kwargs):
+        from repro.workloads.synthetic_updates import generate_burst_trace
+
+        table, nexthops = setup
+        defaults = dict(burst_count=8, burst_size=60)
+        defaults.update(kwargs)
+        return table, generate_burst_trace(
+            table, nexthops=nexthops, rng=rng, **defaults
+        )
+
+    def test_exact_shape_and_recoverable_bursts(self, rng, setup):
+        from repro.net.update import iter_bursts
+
+        _, trace = self.make_bursty(rng, setup)
+        assert len(trace) == 8 * 60
+        bursts = list(iter_bursts(trace, max_gap_s=0.02))
+        assert [len(b) for b in bursts] == [60] * 8
+
+    def test_replayable_against_table(self, rng, setup):
+        table, trace = self.make_bursty(rng, setup)
+        live = dict(table)
+        for update in trace:
+            if update.kind is UpdateKind.ANNOUNCE:
+                live[update.prefix] = update.nexthop
+            else:
+                assert update.prefix in live, "withdraw of a dead prefix"
+                del live[update.prefix]
+
+    def test_flap_heavy_coalescing(self, rng, setup):
+        """Within one burst the same prefixes recur: that is the workload
+        the batch engine exists for (>2x coalescing at minimum)."""
+        from repro.net.update import iter_bursts
+
+        _, trace = self.make_bursty(rng, setup)
+        for burst in iter_bursts(trace, max_gap_s=0.02):
+            assert len({u.prefix for u in burst}) * 2 <= len(burst)
+
+    def test_original_table_untouched(self, rng, setup):
+        table, _ = setup
+        snapshot = dict(table)
+        self.make_bursty(rng, setup)
+        assert table == snapshot
+
+    def test_timestamps_monotonic(self, rng, setup):
+        _, trace = self.make_bursty(rng, setup)
+        stamps = [u.timestamp for u in trace]
+        assert stamps == sorted(stamps)
+
+    def test_validation(self, rng, setup):
+        from repro.workloads.synthetic_updates import generate_burst_trace
+
+        table, nexthops = setup
+        with pytest.raises(ValueError):
+            generate_burst_trace({}, 1, 10, nexthops, rng)
+        with pytest.raises(ValueError):
+            generate_burst_trace(table, 1, 0, nexthops, rng)
+        with pytest.raises(ValueError):
+            generate_burst_trace(
+                table, 1, 10, nexthops, rng,
+                intra_burst_gap_s=5.0, inter_burst_gap_s=1.0,
+            )
