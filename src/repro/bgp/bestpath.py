@@ -19,8 +19,11 @@ from typing import Iterable, Optional, TYPE_CHECKING
 if TYPE_CHECKING:
     from repro.bgp.rib import Route
 
+#: (-local_pref, as_path_length, origin, med, peer key) — smaller wins.
+PreferenceKey = tuple[int, int, int, int, int]
 
-def preference_key(route: "Route") -> tuple:
+
+def preference_key(route: "Route") -> PreferenceKey:
     """Sort key: smaller is better."""
     attributes = route.attributes
     return (
@@ -45,7 +48,7 @@ def compare_routes(a: "Route", b: "Route") -> int:
 def best_route(routes: Iterable["Route"]) -> Optional["Route"]:
     """The winner of the decision process, or None for no candidates."""
     best: Optional["Route"] = None
-    best_key: Optional[tuple] = None
+    best_key: Optional[PreferenceKey] = None
     for route in routes:
         key = preference_key(route)
         if best_key is None or key < best_key:

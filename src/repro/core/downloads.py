@@ -22,6 +22,14 @@ from typing import Iterator, Optional
 
 from repro.net.nexthop import Nexthop
 from repro.net.prefix import Prefix
+from repro.obs.registry import (
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    SIZE_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
 
 
 class DownloadKind(enum.Enum):
@@ -64,17 +72,55 @@ class DownloadLog:
     snapshot_downloads: int = 0
     snapshot_bursts: list[int] = field(default_factory=list)
     keep_entries: bool = True
+    # Mirrored observability series (see docs/OBSERVABILITY.md); inert
+    # no-op instruments until bind_metrics() points them at a registry.
+    _c_update: Counter = field(
+        default=NULL_COUNTER, repr=False, compare=False
+    )
+    _c_snapshot: Counter = field(
+        default=NULL_COUNTER, repr=False, compare=False
+    )
+    _h_burst: Histogram = field(
+        default=NULL_HISTOGRAM, repr=False, compare=False
+    )
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Mirror this log's accounting into ``registry`` series.
+
+        The attributes remain the functional accounting (experiments and
+        ``summary()`` read them); the registry series exist so exporters
+        and cross-layer consistency checks (the soak test's
+        ``registry ≡ DownloadLog`` invariant) see the same totals.
+        """
+        self._c_update = registry.counter(
+            "smalta_fib_downloads_total",
+            "FIB downloads by cause",
+            labels={"cause": "update"},
+        )
+        self._c_snapshot = registry.counter(
+            "smalta_fib_downloads_total",
+            "FIB downloads by cause",
+            labels={"cause": "snapshot"},
+        )
+        self._h_burst = registry.histogram(
+            "smalta_snapshot_burst_size",
+            "Size of each snapshot's download delta",
+            buckets=SIZE_BUCKETS,
+        )
 
     def record_update_downloads(self, batch: list[FibDownload]) -> None:
         if self.keep_entries:
             self.downloads.extend(batch)
         self.update_downloads += len(batch)
+        self._c_update.inc(len(batch))
 
     def record_snapshot_burst(self, batch: list[FibDownload]) -> None:
         if self.keep_entries:
             self.downloads.extend(batch)
         self.snapshot_downloads += len(batch)
         self.snapshot_bursts.append(len(batch))
+        self._c_snapshot.inc(len(batch))
+        self._h_burst.observe(float(len(batch)))
 
     @property
     def total(self) -> int:

@@ -30,7 +30,9 @@ from repro.core.smalta import SmaltaState
 from repro.net.nexthop import Nexthop
 from repro.net.prefix import Prefix
 from repro.net.update import RouteUpdate, UpdateKind
-from repro.verify.audit import AuditConfig
+from repro.obs.observability import Observability
+from repro.obs.registry import LATENCY_BUCKETS_S
+from repro.verify.audit import AuditConfig, AuditError
 
 
 class SmaltaManager:
@@ -44,8 +46,15 @@ class SmaltaManager:
         download_log: Optional[DownloadLog] = None,
         clock: Callable[[], float] = time.perf_counter,
         audit: Optional[AuditConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
-        self.state = SmaltaState(width)
+        #: The manager defaults to a live registry (summary() is a view
+        #: over it); pass Observability.null() to run with accounting off
+        #: (the overhead benchmark's baseline — summary()'s registry-
+        #: backed fields then read zero, while DownloadLog attribution
+        #: keeps working).
+        self.obs = obs if obs is not None else Observability(clock=clock)
+        self.state = SmaltaState(width, obs=self.obs)
         self.policy: SnapshotPolicy = policy if policy is not None else (
             ManualSnapshotPolicy()
         )
@@ -55,18 +64,38 @@ class SmaltaManager:
         self.log = download_log if download_log is not None else DownloadLog(
             keep_entries=False
         )
+        self.log.bind_metrics(self.obs.registry)
         self._clock = clock
         # AuditConfig is a frozen dataclass without __len__, but keep the
         # identity test anyway: AuditConfig.off() is "present but inert".
         self.audit = audit if audit is not None else AuditConfig.off()
-        self.audits_run = 0
         self._updates_since_audit = 0
         self.loading = True
-        self.updates_received = 0
         self.updates_since_snapshot = 0
         self.snapshot_durations: list[float] = []
         self._in_snapshot = False
         self._queued: list[RouteUpdate] = []
+        registry = self.obs.registry
+        self._c_updates = registry.counter(
+            "smalta_updates_received_total", "route updates consumed"
+        )
+        self._c_queued = registry.counter(
+            "smalta_updates_queued_total", "updates queued behind a snapshot"
+        )
+        self._c_audits = registry.counter(
+            "smalta_audits_total", "inline invariant audits run"
+        )
+        self._c_audit_violations = registry.counter(
+            "smalta_audit_violations_total", "violations found by inline audits"
+        )
+        self._g_since_snapshot = registry.gauge(
+            "smalta_updates_since_snapshot", "updates since the last snapshot"
+        )
+        self._h_snapshot_s = registry.histogram(
+            "smalta_snapshot_duration_seconds",
+            "wall-clock duration of snapshot(OT)",
+            buckets=LATENCY_BUCKETS_S,
+        )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -79,13 +108,17 @@ class SmaltaManager:
         """
         self.loading = False
         if not self.enabled:
-            downloads = [
-                FibDownload.insert(prefix, nexthop)
-                for prefix, nexthop in sorted(self.state.ot_table().items())
-            ]
-            self.log.record_snapshot_burst(downloads)
-            return downloads
-        return self.snapshot_now()
+            downloads_plain = self._full_table_download()
+            self.log.record_snapshot_burst(downloads_plain)
+            return downloads_plain
+        return self.snapshot_now(trigger="end_of_rib")
+
+    def _full_table_download(self) -> list[FibDownload]:
+        """Aggregation off: the initial burst is the OT verbatim."""
+        return [
+            FibDownload.insert(prefix, nexthop)
+            for prefix, nexthop in sorted(self.state.ot_table().items())
+        ]
 
     # -- update path -------------------------------------------------------
 
@@ -98,19 +131,21 @@ class SmaltaManager:
         """
         if self._in_snapshot:
             self._queued.append(update)
+            self._c_queued.inc()
             return []
-        self.updates_received += 1
+        self._c_updates.inc()
         if self.loading:
             self._apply_to_ot_only(update)
             return []
         downloads = self._incorporate(update)
         self.log.record_update_downloads(downloads)
         self.updates_since_snapshot += 1
+        self._g_since_snapshot.set(float(self.updates_since_snapshot))
         self._maybe_audit_update()
         if self.enabled and self.policy.should_snapshot(
             self.updates_since_snapshot, self.state.at_size
         ):
-            downloads = downloads + self.snapshot_now()
+            downloads = downloads + self.snapshot_now(trigger="policy")
         return downloads
 
     def apply_many(self, updates: Iterable[RouteUpdate]) -> int:
@@ -138,8 +173,9 @@ class SmaltaManager:
             return []
         if self._in_snapshot:
             self._queued.extend(batch)
+            self._c_queued.inc(len(batch))
             return []
-        self.updates_received += len(batch)
+        self._c_updates.inc(len(batch))
         if self.loading:
             for update in batch:
                 self._apply_to_ot_only(update)
@@ -151,12 +187,16 @@ class SmaltaManager:
         else:
             downloads = self._passthrough_batch(batch)
         self.log.record_update_downloads(downloads)
+        self.obs.event(
+            "batch_drain", updates=len(batch), downloads=len(downloads)
+        )
         self.updates_since_snapshot += len(batch)
+        self._g_since_snapshot.set(float(self.updates_since_snapshot))
         self._maybe_audit_update(len(batch))
         if self.enabled and self.policy.should_snapshot(
             self.updates_since_snapshot, self.state.at_size
         ):
-            downloads = downloads + self.snapshot_now()
+            downloads = downloads + self.snapshot_now(trigger="policy")
         return downloads
 
     def _apply_to_ot_only(self, update: RouteUpdate) -> None:
@@ -224,13 +264,39 @@ class SmaltaManager:
         if self._updates_since_audit < config.every_updates:
             return
         self._updates_since_audit = 0
-        self.audits_run += 1
-        config.run(self.state, "update")
+        self._c_audits.inc()
+        self._run_audit(config, "update")
+
+    def _run_audit(self, config: AuditConfig, trigger: str) -> None:
+        """Run one audit pass, accounting violations before (re-)raising.
+
+        Violations are counted and logged whether the config raises
+        (strict mode) or merely reports, so the registry's
+        ``smalta_audit_violations_total`` is trigger-agnostic.
+        """
+        try:
+            violations = config.run(self.state, trigger)
+        except AuditError as exc:
+            self._c_audit_violations.inc(len(exc.violations))
+            self.obs.event(
+                "audit_violation", trigger=trigger, count=len(exc.violations)
+            )
+            raise
+        if violations:
+            self._c_audit_violations.inc(len(violations))
+            self.obs.event(
+                "audit_violation", trigger=trigger, count=len(violations)
+            )
 
     # -- snapshot ------------------------------------------------------------
 
-    def snapshot_now(self) -> list[FibDownload]:
-        """Run snapshot(OT), record the burst, then drain queued updates."""
+    def snapshot_now(self, trigger: str = "manual") -> list[FibDownload]:
+        """Run snapshot(OT), record the burst, then drain queued updates.
+
+        ``trigger`` labels the emitted "snapshot" event: "manual" for
+        direct calls, "policy" when a snapshot policy fired,
+        "end_of_rib" for the initial table download.
+        """
         if not self.enabled:
             return []
         self._in_snapshot = True
@@ -239,14 +305,20 @@ class SmaltaManager:
             burst = self.state.snapshot()
         finally:
             self._in_snapshot = False
-        self.snapshot_durations.append(self._clock() - started)
+        duration = self._clock() - started
+        self.snapshot_durations.append(duration)
+        self._h_snapshot_s.observe(duration)
         self.log.record_snapshot_burst(burst)
+        self.obs.event(
+            "snapshot", trigger=trigger, burst=len(burst), duration_s=duration
+        )
         self.updates_since_snapshot = 0
+        self._g_since_snapshot.set(0.0)
         self.policy.on_snapshot(self.state.at_size)
         if self.audit.on_snapshot:
             self._updates_since_audit = 0
-            self.audits_run += 1
-            self.audit.run(self.state, "snapshot")
+            self._c_audits.inc()
+            self._run_audit(self.audit, "snapshot")
         downloads = list(burst)
         queued, self._queued = self._queued, []
         for update in queued:
@@ -254,6 +326,25 @@ class SmaltaManager:
         return downloads
 
     # -- introspection ---------------------------------------------------------
+
+    @property
+    def updates_received(self) -> int:
+        """Route updates consumed, read off the metrics registry.
+
+        With ``Observability.null()`` the counter is inert and this reads
+        zero — the null path trades accounting for zero overhead.
+        """
+        return int(self._c_updates.value)
+
+    @property
+    def audits_run(self) -> int:
+        """Inline audits run, read off the metrics registry."""
+        return int(self._c_audits.value)
+
+    def count_received(self, count: int = 1) -> None:
+        """Advance the received-updates counter for updates incorporated
+        outside :meth:`apply` (the out-of-band manager's direct path)."""
+        self._c_updates.inc(count)
 
     @property
     def ot_size(self) -> int:

@@ -64,7 +64,7 @@ class OutOfBandManager:
         state = self.manager.state
         trie = state.trie
         prefix = update.prefix
-        self.manager.updates_received += 1
+        self.manager.count_received()
 
         if update.kind is UpdateKind.ANNOUNCE:
             assert update.nexthop is not None

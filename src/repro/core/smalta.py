@@ -33,12 +33,18 @@ from repro.core.ortc import ortc, ortc_from_trie
 from repro.core.trie import FibTrie, Node
 from repro.net.nexthop import DROP, Nexthop
 from repro.net.prefix import Prefix
+from repro.obs.observability import Observability
 
 
 class SmaltaState:
     """OT + AT with incremental aggregation, the paper's core machinery."""
 
-    def __init__(self, width: int = 32, compact: bool = True) -> None:
+    def __init__(
+        self,
+        width: int = 32,
+        compact: bool = True,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.trie = FibTrie(width)
         self.trie.at_observer = self._on_at_change
         self._events: list[tuple[Prefix, Optional[Nexthop], Optional[Nexthop]]] = []
@@ -47,6 +53,44 @@ class SmaltaState:
         #: literally (no redundant-label elision); the AT then drifts from
         #: optimal noticeably faster — the ablation benchmark measures it.
         self.compact = compact
+        #: Standalone states default to the null sink; SmaltaManager
+        #: threads its live Observability through here.
+        self.obs = obs if obs is not None else Observability.null()
+        registry = self.obs.registry
+        self._c_inserts = registry.counter(
+            "smalta_inserts_total", "Algorithm 1 (Insert) runs"
+        )
+        self._c_deletes = registry.counter(
+            "smalta_deletes_total", "Algorithm 2 (Delete) runs"
+        )
+        self._c_reclaims = registry.counter(
+            "smalta_reclaim_calls_total", "Algorithm 3 (reclaim) invocations"
+        )
+        self._c_label_changes = registry.counter(
+            "smalta_at_label_changes_total", "AT label mutations captured"
+        )
+        self._c_batches = registry.counter(
+            "smalta_batches_total", "apply_batch bursts incorporated"
+        )
+        self._c_batch_updates = registry.counter(
+            "smalta_batch_updates_total", "updates entering apply_batch"
+        )
+        self._c_batch_net = registry.counter(
+            "smalta_batch_net_ops_total", "net per-prefix ops after coalescing"
+        )
+        self._c_batch_skipped = registry.counter(
+            "smalta_batch_skipped_total",
+            "net withdraws skipped (prefix absent from the OT)",
+        )
+        self._c_snapshots = registry.counter(
+            "smalta_snapshots_total", "ORTC snapshot passes"
+        )
+        self._g_ot_size = registry.gauge(
+            "smalta_ot_size", "Original Tree entries"
+        )
+        self._g_at_size = registry.gauge(
+            "smalta_at_size", "Aggregated Tree entries"
+        )
 
     # -- label-change capture -------------------------------------------
 
@@ -55,6 +99,7 @@ class SmaltaState:
     ) -> None:
         if self._capture:
             self._events.append((prefix, old, new))
+            self._c_label_changes.inc()
 
     def _drain_downloads(self) -> list[FibDownload]:
         """Coalesce the AT label events of one update into FIB downloads.
@@ -80,6 +125,8 @@ class SmaltaState:
                 downloads.append(FibDownload.delete(prefix))
             else:
                 downloads.append(FibDownload.insert(prefix, new))
+        self._g_ot_size.set(float(self.trie.ot_size))
+        self._g_at_size.set(float(self.trie.at_size))
         return downloads
 
     # -- value helpers ----------------------------------------------------
@@ -143,6 +190,7 @@ class SmaltaState:
 
     def _insert(self, prefix: Prefix, nexthop: Nexthop) -> None:
         """Algorithm 1 without the download drain (shared with batching)."""
+        self._c_inserts.inc()
         if nexthop == DROP:
             raise ValueError("cannot insert the null nexthop; use delete")
         trie = self.trie
@@ -207,6 +255,7 @@ class SmaltaState:
 
     def _delete(self, prefix: Prefix) -> None:
         """Algorithm 2 without the download drain (shared with batching)."""
+        self._c_deletes.inc()
         trie = self.trie
         node_n = trie.find(prefix)
         if node_n is None or node_n.d_o is None:
@@ -298,16 +347,24 @@ class SmaltaState:
         (``tests/core/test_batch_differential.py``) discharges this.
         """
         net: dict[Prefix, Optional[Nexthop]] = {}
+        total_ops = 0
         for prefix, nexthop in ops:
             net[prefix] = nexthop
+            total_ops += 1
+        skipped = 0
         for prefix, nexthop in net.items():
             if nexthop is None:
                 node = self.trie.find(prefix)
                 if node is None or node.d_o is None:
+                    skipped += 1
                     continue  # net withdraw of a prefix the OT never held
                 self._delete(prefix)
             else:
                 self._insert(prefix, nexthop)
+        self._c_batches.inc()
+        self._c_batch_updates.inc(total_ops)
+        self._c_batch_net.inc(len(net))
+        self._c_batch_skipped.inc(skipped)
         return self._drain_downloads()
 
     # -- Algorithm 3 ------------------------------------------------------
@@ -316,6 +373,7 @@ class SmaltaState:
         """reclaim(E, α, β): after the nexthop present at E changed from β
         to α, remove descendants whose explicit α labels became redundant
         and restore OT prefixes that had been aggregated up into β."""
+        self._c_reclaims.inc()
         trie = self.trie
         stack = list(node_e.children())
         while stack:
@@ -353,10 +411,14 @@ class SmaltaState:
         produce the identical optimal table.
         """
         trie = self.trie
-        if fast:
-            new_table = ortc_from_trie(trie)
-        else:
-            new_table = ortc(trie.ot_entries(), trie.width)
+        self._c_snapshots.inc()
+        with self.obs.span(
+            "smalta_ortc", "ORTC rebuild inside snapshot(OT)"
+        ):
+            if fast:
+                new_table = ortc_from_trie(trie)
+            else:
+                new_table = ortc(trie.ot_entries(), trie.width)
         old_table = trie.at_table()
         downloads = diff_tables(old_table, new_table)
 
@@ -373,6 +435,8 @@ class SmaltaState:
         finally:
             self._capture = True
             self._events.clear()
+        self._g_ot_size.set(float(trie.ot_size))
+        self._g_at_size.set(float(trie.at_size))
         return downloads
 
     def _rebuild_preimages(self) -> None:

@@ -122,6 +122,12 @@ def iter_bursts(
     first update of a burst is not applied until the burst closes). At
     least one criterion must be given; every yielded burst is non-empty
     and the concatenation of all bursts is the input stream, in order.
+
+    The gap test uses the |delta| of consecutive timestamps: real feeds
+    occasionally carry clock skew (a collector restart, an NTP step),
+    and a large *backward* jump is just as much a new burst as a forward
+    quiet period — without the absolute value it would glue everything
+    after the step into one unbounded burst.
     """
     if max_gap_s is None and max_size is None:
         raise ValueError("need max_gap_s and/or max_size")
@@ -135,7 +141,7 @@ def iter_bursts(
         gap_exceeded = (
             burst
             and max_gap_s is not None
-            and (update.timestamp - last_timestamp) > max_gap_s
+            and abs(update.timestamp - last_timestamp) > max_gap_s
         )
         if burst and (gap_exceeded or (max_size is not None and len(burst) >= max_size)):
             yield burst

@@ -1,0 +1,51 @@
+"""Observability: metrics registry, tracing spans, events, exporters.
+
+The continuous counterpart of ``SmaltaManager.summary()``: counters,
+gauges, and latency histograms over every hot path (update algorithms,
+batch coalescing, ORTC snapshots, kernel downloads), a bounded
+structured event log, and Prometheus/JSON exporters. See
+``docs/OBSERVABILITY.md`` for the metric catalog.
+"""
+
+from repro.obs.events import Event, EventLog, NullEventLog
+from repro.obs.export import (
+    flatten_samples,
+    parse_prometheus,
+    registry_to_dict,
+    render_json,
+    render_prometheus,
+    render_text,
+)
+from repro.obs.observability import Observability
+from repro.obs.registry import (
+    LATENCY_BUCKETS_S,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullEventLog",
+    "NullRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "flatten_samples",
+    "parse_prometheus",
+    "registry_to_dict",
+    "render_json",
+    "render_prometheus",
+    "render_text",
+]

@@ -1,0 +1,113 @@
+"""A bounded, structured event log for operationally-significant moments.
+
+Metrics answer "how much/how fast"; the event log answers "what just
+happened": snapshot triggers, audit violations, batch drains, CLI
+activation flips. Events are small frozen records kept in a bounded ring
+(oldest dropped first), so the log is safe to leave on in production —
+memory is capped and emission is a deque append.
+
+Per-kind counts are tracked over *all* emitted events (not just the
+retained window), so ``counts()`` stays truthful after wraparound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event: a kind, a timestamp, and flat fields."""
+
+    seq: int
+    timestamp: float
+    kind: str
+    fields: tuple[tuple[str, object], ...] = ()
+
+    def as_dict(self) -> dict[str, object]:
+        record: dict[str, object] = {
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+            "kind": self.kind,
+        }
+        record.update(self.fields)
+        return record
+
+    def __getitem__(self, name: str) -> object:
+        for key, value in self.fields:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+
+_NULL_EVENT = Event(seq=-1, timestamp=0.0, kind="null")
+
+
+class EventLog:
+    """Bounded ring of events with per-kind counting."""
+
+    __slots__ = ("_events", "capacity", "emitted", "_kind_counts")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self.emitted = 0
+        self._kind_counts: dict[str, int] = {}
+
+    def emit(
+        self,
+        kind: str,
+        timestamp: float = 0.0,
+        fields: Optional[Mapping[str, object]] = None,
+    ) -> Event:
+        event = Event(
+            seq=self.emitted,
+            timestamp=timestamp,
+            kind=kind,
+            fields=tuple(fields.items()) if fields else (),
+        )
+        self._events.append(event)
+        self.emitted += 1
+        self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+        return event
+
+    # -- readout ---------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        return self.emitted - len(self._events)
+
+    def counts(self) -> dict[str, int]:
+        """Per-kind totals over everything ever emitted."""
+        return dict(self._kind_counts)
+
+    def tail(self, n: int = 20) -> list[Event]:
+        """The most recent ``n`` retained events, oldest first."""
+        if n <= 0:
+            return []
+        return list(self._events)[-n:]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class NullEventLog(EventLog):
+    """The disabled event log: emission is a no-op."""
+
+    __slots__ = ()
+
+    def emit(
+        self,
+        kind: str,
+        timestamp: float = 0.0,
+        fields: Optional[Mapping[str, object]] = None,
+    ) -> Event:
+        return _NULL_EVENT

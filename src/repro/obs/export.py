@@ -1,0 +1,199 @@
+"""Exporters: Prometheus text exposition, JSON dump, human-readable text.
+
+Two machine formats and one operator format over the same registry:
+
+- :func:`render_prometheus` — the text exposition format (version 0.0.4)
+  a Prometheus scrape endpoint serves: ``# HELP``/``# TYPE`` headers,
+  cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count`` for
+  histograms;
+- :func:`render_json` — a structured dump of every series (and derived
+  histogram percentiles) for dashboards and the benchmark harness;
+- :func:`render_text` — aligned tables for the CLI reporter.
+
+:func:`parse_prometheus` is the inverse of :func:`render_prometheus` at
+the sample level; together with :func:`flatten_samples` it gives the
+test suite an exact round-trip check (render → parse ≡ registry).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Optional
+
+from repro.obs.events import EventLog
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def _format_value(value: float) -> str:
+    """A float rendered the Prometheus way: integral values lose the dot."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if bound == math.inf else _format_value(bound)
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def flatten_samples(registry: MetricsRegistry) -> dict[str, float]:
+    """Every sample the Prometheus exposition contains, as a flat map.
+
+    Keys are ``name{labels}`` series identifiers (histograms expand to
+    their ``_bucket``/``_sum``/``_count`` series); values are floats.
+    """
+    samples: dict[str, float] = {}
+    for instrument in registry.collect():
+        if isinstance(instrument, (Counter, Gauge)):
+            samples[instrument.name + _labels_text(instrument.labels)] = float(
+                instrument.value
+            )
+        elif isinstance(instrument, Histogram):
+            for bound, cumulative in instrument.cumulative():
+                key = instrument.name + "_bucket" + _labels_text(
+                    instrument.labels, f'le="{_format_bound(bound)}"'
+                )
+                samples[key] = float(cumulative)
+            samples[instrument.name + "_sum" + _labels_text(instrument.labels)] = (
+                instrument.sum
+            )
+            samples[instrument.name + "_count" + _labels_text(instrument.labels)] = (
+                float(instrument.count)
+            )
+    return samples
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The Prometheus text exposition of every registered series."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for instrument in registry.collect():
+        if instrument.name not in seen_headers:
+            seen_headers.add(instrument.name)
+            if instrument.help:
+                lines.append(f"# HELP {instrument.name} {instrument.help}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            lines.append(
+                f"{instrument.name}{_labels_text(instrument.labels)} "
+                f"{_format_value(instrument.value)}"
+            )
+        elif isinstance(instrument, Histogram):
+            for bound, cumulative in instrument.cumulative():
+                labels = _labels_text(
+                    instrument.labels, f'le="{_format_bound(bound)}"'
+                )
+                lines.append(
+                    f"{instrument.name}_bucket{labels} {cumulative}"
+                )
+            labels_only = _labels_text(instrument.labels)
+            lines.append(
+                f"{instrument.name}_sum{labels_only} "
+                f"{_format_value(instrument.sum)}"
+            )
+            lines.append(f"{instrument.name}_count{labels_only} {instrument.count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse exposition text back to the :func:`flatten_samples` map.
+
+    Minimal by design (no escapes beyond what the renderer emits); it
+    exists so the round-trip ``parse(render(r)) == flatten_samples(r)``
+    is checkable, and so the CLI can diff two scrapes.
+    """
+    samples: dict[str, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        # The series key may contain spaces only inside label values,
+        # which the renderer never emits — split on the last space.
+        key, _, value = line.rpartition(" ")
+        if not key:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        samples[key] = float(value)
+    return samples
+
+
+def registry_to_dict(registry: MetricsRegistry) -> dict[str, object]:
+    """A JSON-able structural dump, including derived percentiles."""
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, object]] = {}
+    for instrument in registry.collect():
+        if isinstance(instrument, Counter):
+            counters[instrument.key] = instrument.value
+        elif isinstance(instrument, Gauge):
+            gauges[instrument.key] = instrument.value
+        elif isinstance(instrument, Histogram):
+            histograms[instrument.key] = {
+                "buckets": [
+                    [_format_bound(bound), cumulative]
+                    for bound, cumulative in instrument.cumulative()
+                ],
+                "sum": instrument.sum,
+                "count": instrument.count,
+                "p50": _format_bound(instrument.percentile(0.50)),
+                "p90": _format_bound(instrument.percentile(0.90)),
+                "p99": _format_bound(instrument.percentile(0.99)),
+            }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def render_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    return json.dumps(registry_to_dict(registry), indent=indent, sort_keys=True)
+
+
+def render_text(
+    registry: MetricsRegistry, events: Optional[EventLog] = None, tail: int = 10
+) -> str:
+    """Aligned operator-facing tables: counters, gauges, histograms, events."""
+    dump = registry_to_dict(registry)
+    lines: list[str] = []
+
+    counters = dump["counters"]
+    gauges = dump["gauges"]
+    histograms = dump["histograms"]
+    assert isinstance(counters, dict)
+    assert isinstance(gauges, dict)
+    assert isinstance(histograms, dict)
+
+    for title, table in (("counters", counters), ("gauges", gauges)):
+        if table:
+            lines.append(f"== {title} ==")
+            width = max(len(key) for key in table)
+            for key in sorted(table):
+                lines.append(f"  {key:<{width}}  {_format_value(table[key])}")
+    if histograms:
+        lines.append("== histograms ==")
+        width = max(len(key) for key in histograms)
+        for key in sorted(histograms):
+            h = histograms[key]
+            lines.append(
+                f"  {key:<{width}}  count={h['count']} "
+                f"sum={_format_value(float(h['sum']))} "  # type: ignore[arg-type]
+                f"p50={h['p50']} p90={h['p90']} p99={h['p99']}"
+            )
+    if events is not None and len(events):
+        lines.append(
+            f"== events (last {min(tail, len(events))} of {events.emitted}"
+            f"{', ' + str(events.dropped) + ' dropped' if events.dropped else ''}) =="
+        )
+        for event in events.tail(tail):
+            fields = " ".join(f"{k}={v}" for k, v in event.fields)
+            lines.append(
+                f"  [{event.seq}] t={event.timestamp:.6f} {event.kind} {fields}"
+            )
+    return "\n".join(lines) + "\n"

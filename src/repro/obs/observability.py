@@ -1,0 +1,72 @@
+"""The :class:`Observability` facade the instrumented layers share.
+
+One object bundles the three concerns — metrics registry, tracing
+clock, bounded event log — so it can be threaded through the stack the
+way :class:`~repro.core.manager.SmaltaManager` already threads its
+injected clock: the manager passes it to :class:`~repro.core.smalta.
+SmaltaState`, :class:`~repro.router.zebra.Zebra` passes it to the
+manager and the kernel, and :class:`~repro.router.pipeline.
+RouterPipeline` owns the one instance for the whole router.
+
+``Observability.null()`` is the shared disabled instance: null registry,
+null event log, constant clock. Instrumented code needs no branches —
+every sample lands in an inert instrument.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.obs.events import Event, EventLog, NullEventLog
+from repro.obs.registry import MetricsRegistry, NullRegistry
+from repro.obs.tracing import NULL_SPAN, Span, Tracer, _NullSpan
+
+Clock = Callable[[], float]
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class Observability:
+    """Registry + tracer + event log behind one injectable handle."""
+
+    __slots__ = ("registry", "events", "clock", "tracer")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
+        clock: Clock = time.perf_counter,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog()
+        self.clock = clock
+        self.tracer = Tracer(self.registry, clock)
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def span(self, name: str, help: str = "") -> "Span | _NullSpan":
+        """Time a block into the ``<name>_seconds`` histogram."""
+        return self.tracer.span(name, help)
+
+    def event(self, kind: str, **fields: object) -> Event:
+        """Emit a structured event stamped with the injected clock."""
+        if not self.enabled:
+            return self.events.emit(kind)
+        return self.events.emit(kind, timestamp=self.clock(), fields=fields)
+
+    @classmethod
+    def null(cls) -> "Observability":
+        """The shared disabled instance (near-zero per-sample cost)."""
+        return _NULL_OBSERVABILITY
+
+
+_NULL_OBSERVABILITY = Observability(
+    registry=NullRegistry(), events=NullEventLog(), clock=_zero_clock
+)
+
+__all__ = ["Clock", "NULL_SPAN", "Observability"]

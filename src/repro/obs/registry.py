@@ -1,0 +1,347 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+SMALTA's value claim is quantitative (FIB size ratio, ~0.63 downloads
+per update, snapshot burst cost), so the running system must expose
+those numbers continuously, not only through a one-shot ``summary()``.
+This module is the storage layer: a :class:`MetricsRegistry` hands out
+get-or-create instruments keyed by ``(name, labels)``, and the
+instrumented hot paths hold direct references to them so the steady-state
+cost of a sample is one attribute addition.
+
+:class:`NullRegistry` is the disabled path: it returns shared no-op
+instruments, so code can be instrumented unconditionally and a null-
+configured router pays only an empty method call per sample
+(``benchmarks/test_bench_obs.py`` pins the difference below 5%).
+
+Instruments follow Prometheus conventions: counters are monotonic and
+named ``*_total``; histograms have fixed upper bounds with a +Inf
+overflow bucket and support an approximate percentile readout (the
+returned value is the upper bound of the bucket containing the
+requested quantile).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Iterable, Mapping, Optional, Union
+
+LabelMap = Mapping[str, str]
+LabelItems = tuple[tuple[str, str], ...]
+Instrument = Union["Counter", "Gauge", "Histogram"]
+
+#: Default duration buckets (seconds): 100µs to 10s, log-ish spacing.
+LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Default magnitude buckets for sizes/counts (burst sizes, table deltas).
+SIZE_BUCKETS: tuple[float, ...] = (
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+    10000.0,
+    50000.0,
+)
+
+
+def _label_items(labels: Optional[LabelMap]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+def series_key(name: str, labels: LabelItems) -> str:
+    """The canonical ``name{k="v",...}`` series identifier."""
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelItems = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    @property
+    def key(self) -> str:
+        return series_key(self.name, self.labels)
+
+
+class Gauge:
+    """A value that can go up and down (sizes, queue depths)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelItems = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    @property
+    def key(self) -> str:
+        return series_key(self.name, self.labels)
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count and percentile readout.
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets; an
+    implicit +Inf bucket catches the overflow. ``bucket_counts`` holds
+    the *per-bucket* (non-cumulative) counts; exporters cumulate.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "labels", "bounds", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelItems = (),
+        buckets: Iterable[float] = LATENCY_BUCKETS_S,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be non-empty and increasing")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            out.append((bound, running))
+        out.append((math.inf, running + self.bucket_counts[-1]))
+        return out
+
+    def percentile(self, quantile: float) -> float:
+        """The upper bound of the bucket holding the ``quantile`` sample.
+
+        Returns 0.0 for an empty histogram and +Inf when the quantile
+        falls in the overflow bucket.
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = quantile * self.count
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            if running >= rank:
+                return bound
+        return math.inf
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def key(self) -> str:
+        return series_key(self.name, self.labels)
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store, keyed by ``(name, labels)``.
+
+    Re-registering an existing series returns the same instrument (so
+    independently constructed components can share a series); asking for
+    the same series as a different kind raises.
+    """
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, LabelItems], Instrument] = {}
+
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labels: Optional[LabelMap],
+        **kwargs: object,
+    ) -> Instrument:
+        key = (name, _label_items(labels))
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {series_key(*key)!r} already registered as "
+                    f"{existing.kind}, not {cls.__name__.lower()}"
+                )
+            return existing
+        instrument = cls(name, help, key[1], **kwargs)
+        self._instruments[key] = instrument
+        return instrument  # type: ignore[no-any-return]
+
+    def counter(
+        self, name: str, help: str = "", labels: Optional[LabelMap] = None
+    ) -> Counter:
+        instrument = self._get_or_create(Counter, name, help, labels)
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[LabelMap] = None
+    ) -> Gauge:
+        instrument = self._get_or_create(Gauge, name, help, labels)
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[LabelMap] = None,
+        buckets: Iterable[float] = LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        instrument = self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    # -- readout ---------------------------------------------------------
+
+    def collect(self) -> list[Instrument]:
+        """All instruments, sorted by series key (stable export order)."""
+        return sorted(self._instruments.values(), key=lambda i: i.key)
+
+    def get(
+        self, name: str, labels: Optional[LabelMap] = None
+    ) -> Optional[Instrument]:
+        return self._instruments.get((name, _label_items(labels)))
+
+    def value(self, name: str, labels: Optional[LabelMap] = None) -> float:
+        """A counter/gauge value by series, 0.0 when the series is absent."""
+        instrument = self.get(name, labels)
+        if instrument is None or isinstance(instrument, Histogram):
+            return 0.0
+        return instrument.value
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null", buckets=(1.0,))
+
+
+class NullRegistry(MetricsRegistry):
+    """The no-op registry: every request returns a shared inert instrument.
+
+    Instrumented code paths keep their references and calls; nothing is
+    recorded and :meth:`collect` is empty. This is the configuration the
+    overhead benchmark compares against.
+    """
+
+    __slots__ = ()
+
+    def counter(
+        self, name: str, help: str = "", labels: Optional[LabelMap] = None
+    ) -> Counter:
+        return NULL_COUNTER
+
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[LabelMap] = None
+    ) -> Gauge:
+        return NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[LabelMap] = None,
+        buckets: Iterable[float] = LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        return NULL_HISTOGRAM

@@ -1,0 +1,110 @@
+"""Lightweight tracing spans feeding duration histograms.
+
+A span brackets one hot-path operation (a snapshot's ORTC pass, a
+kernel download burst, a whole trace replay) and records its duration
+into a latency histogram. The clock is injected — the same seam
+:class:`~repro.core.manager.SmaltaManager` already uses — so tests and
+the golden trace freeze durations deterministically with a counting
+clock.
+
+With a :class:`~repro.obs.registry.NullRegistry` behind it, the tracer
+hands out a shared no-op span and never reads the clock, keeping the
+disabled path free of per-operation clock syscalls.
+"""
+
+from __future__ import annotations
+
+import time
+from types import TracebackType
+from typing import Callable, Iterable, Optional
+
+from repro.obs.registry import (
+    LATENCY_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+Clock = Callable[[], float]
+
+
+class Span:
+    """Context manager timing one operation into a histogram."""
+
+    __slots__ = ("_clock", "_histogram", "_start", "duration")
+
+    def __init__(self, histogram: Histogram, clock: Clock) -> None:
+        self._histogram = histogram
+        self._clock = clock
+        self._start = 0.0
+        #: Seconds the span covered; populated on exit.
+        self.duration = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = self._clock()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.duration = self._clock() - self._start
+        self._histogram.observe(self.duration)
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Hands out spans backed by ``<name>_seconds`` histograms."""
+
+    __slots__ = ("_registry", "_clock", "_enabled", "_histograms")
+
+    def __init__(
+        self, registry: MetricsRegistry, clock: Clock = time.perf_counter
+    ) -> None:
+        self._registry = registry
+        self._clock = clock
+        self._enabled = not isinstance(registry, NullRegistry)
+        self._histograms: dict[str, Histogram] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def span(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = LATENCY_BUCKETS_S,
+    ) -> "Span | _NullSpan":
+        """A span recording into the ``<name>_seconds`` histogram."""
+        if not self._enabled:
+            return NULL_SPAN
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._registry.histogram(
+                f"{name}_seconds", help, buckets=buckets
+            )
+            self._histograms[name] = histogram
+        return Span(histogram, self._clock)

@@ -13,6 +13,7 @@ from repro.core.downloads import DownloadKind, FibDownload
 from repro.fib.treebitmap import TreeBitmap
 from repro.net.nexthop import DROP, Nexthop
 from repro.net.prefix import Prefix
+from repro.obs.registry import NULL_COUNTER, NULL_GAUGE, Counter, Gauge, MetricsRegistry
 
 Backing = Literal["dict", "treebitmap"]
 
@@ -36,6 +37,29 @@ class KernelFib:
         self.installs = 0
         self.uninstalls = 0
         self.failed_uninstalls = 0
+        # Inert until bind_metrics(); the plain attributes above stay the
+        # functional accounting (experiments and summary() read them).
+        self._c_install: Counter = NULL_COUNTER
+        self._c_uninstall: Counter = NULL_COUNTER
+        self._c_failed: Counter = NULL_COUNTER
+        self._g_size: Gauge = NULL_GAUGE
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Mirror install/uninstall accounting into ``registry`` series."""
+        self._c_install = registry.counter(
+            "kernel_fib_ops_total", "kernel FIB operations", labels={"op": "install"}
+        )
+        self._c_uninstall = registry.counter(
+            "kernel_fib_ops_total", "kernel FIB operations", labels={"op": "uninstall"}
+        )
+        self._c_failed = registry.counter(
+            "kernel_fib_ops_total",
+            "kernel FIB operations",
+            labels={"op": "failed_uninstall"},
+        )
+        self._g_size = registry.gauge(
+            "kernel_fib_size", "entries currently installed in the kernel FIB"
+        )
 
     # -- download path -------------------------------------------------------
 
@@ -46,19 +70,24 @@ class KernelFib:
             if self._tbm is not None:
                 self._tbm.insert(download.prefix, download.nexthop)
             self.installs += 1
+            self._c_install.inc()
         else:
             existed = self._table.pop(download.prefix, None) is not None
             if existed and self._tbm is not None:
                 self._tbm.delete(download.prefix)
             if existed:
                 self.uninstalls += 1
+                self._c_uninstall.inc()
             else:
                 # Mirrors the kernel's ESRCH on deleting a missing route.
                 self.failed_uninstalls += 1
+                self._c_failed.inc()
 
     def apply_all(self, downloads: list[FibDownload]) -> None:
         for download in downloads:
             self.apply(download)
+        if downloads:
+            self._g_size.set(float(len(self._table)))
 
     # -- data path -------------------------------------------------------------
 

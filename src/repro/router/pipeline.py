@@ -19,6 +19,7 @@ from repro.core.policy import SnapshotPolicy
 from repro.net.nexthop import Nexthop, RoundRobinIgpMapper
 from repro.net.prefix import Prefix
 from repro.net.update import RouteUpdate, UpdateKind, UpdateTrace, iter_bursts
+from repro.obs.observability import Observability
 from repro.router.kernel import KernelFib
 from repro.router.zebra import Zebra
 from repro.verify.audit import AuditConfig
@@ -54,7 +55,11 @@ class RouterPipeline:
         kernel: Optional[KernelFib] = None,
         snapshot_delay_model: Optional[float] = None,
         audit: Optional[AuditConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
+        #: One Observability instance for the whole router; every layer
+        #: below (zebra, manager, state, kernel) shares its registry.
+        self.obs = obs if obs is not None else Observability()
         self.loc_rib = LocRib()
         self.sessions = SessionManager()
         self.download_log = DownloadLog(keep_entries=False)
@@ -65,6 +70,13 @@ class RouterPipeline:
             policy=policy,
             download_log=self.download_log,
             audit=audit,
+            obs=self.obs,
+        )
+        self._c_updates = self.obs.registry.counter(
+            "pipeline_updates_total", "updates pushed through the pipeline"
+        )
+        self._c_bursts = self.obs.registry.counter(
+            "pipeline_bursts_total", "bursts pushed through the batch path"
         )
         self.igp_mapper = (
             RoundRobinIgpMapper(igp_nexthops) if igp_nexthops is not None else None
@@ -146,13 +158,16 @@ class RouterPipeline:
         incorporated through the coalescing batch path — same final FIB,
         fewer algorithm runs and kernel downloads on flap-heavy feeds.
         """
-        if batch_size is None and burst_gap_s is None:
-            for update in trace:
-                self._forward([update])
+        with self.obs.span("pipeline_run_trace", "whole-trace replay duration"):
+            if batch_size is None and burst_gap_s is None:
+                for update in trace:
+                    self._forward([update])
+                return self.stats
+            for burst in iter_bursts(
+                trace, max_gap_s=burst_gap_s, max_size=batch_size
+            ):
+                self._forward_batch(burst)
             return self.stats
-        for burst in iter_bursts(trace, max_gap_s=burst_gap_s, max_size=batch_size):
-            self._forward_batch(burst)
-        return self.stats
 
     # -- internals ---------------------------------------------------------------------
 
@@ -169,6 +184,7 @@ class RouterPipeline:
             snapshots_before = self.download_log.snapshot_count
             self.zebra.apply_update(update)
             self.stats.updates_processed += 1
+            self._c_updates.inc()
             if self.download_log.snapshot_count > snapshots_before:
                 self._account_snapshots()
         self.stats.fib_downloads = self.download_log.total
@@ -186,6 +202,8 @@ class RouterPipeline:
         snapshots_before = self.download_log.snapshot_count
         self.zebra.apply_batch(mapped)
         self.stats.updates_processed += len(mapped)
+        self._c_updates.inc(len(mapped))
+        self._c_bursts.inc()
         if self.download_log.snapshot_count > snapshots_before:
             self._account_snapshots()
         self.stats.fib_downloads = self.download_log.total

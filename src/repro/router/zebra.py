@@ -21,6 +21,7 @@ from repro.core.policy import SnapshotPolicy
 from repro.net.nexthop import Nexthop
 from repro.net.prefix import Prefix
 from repro.net.update import RouteUpdate
+from repro.obs.observability import Observability
 from repro.router.kernel import KernelFib
 from repro.verify.audit import AuditConfig
 
@@ -36,15 +37,32 @@ class Zebra:
         policy: Optional[SnapshotPolicy] = None,
         download_log: Optional[DownloadLog] = None,
         audit: Optional[AuditConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
+        self.obs = obs if obs is not None else Observability()
         self.kernel = kernel if kernel is not None else KernelFib(width)
+        self.kernel.bind_metrics(self.obs.registry)
         self.manager = SmaltaManager(
             width=width,
             policy=policy,
             enabled=smalta_enabled,
             download_log=download_log,
             audit=audit,
+            obs=self.obs,
         )
+        self._c_kernel_downloads = self.obs.registry.counter(
+            "zebra_kernel_downloads_total", "FIB downloads pushed to the kernel"
+        )
+
+    def _download(self, downloads: list[FibDownload]) -> None:
+        """Push one download batch into the kernel, timed end to end."""
+        if not downloads:
+            return
+        with self.obs.span(
+            "zebra_kernel_apply", "latency of one kernel download batch"
+        ):
+            self.kernel.apply_all(downloads)
+        self._c_kernel_downloads.inc(len(downloads))
 
     # -- the two intercepted functions --------------------------------------
 
@@ -55,7 +73,7 @@ class Zebra:
         downloads = self.manager.apply(
             RouteUpdate.announce(prefix, nexthop, timestamp)
         )
-        self.kernel.apply_all(downloads)
+        self._download(downloads)
         return downloads
 
     def rib_uninstall_kernel(
@@ -63,12 +81,12 @@ class Zebra:
     ) -> list[FibDownload]:
         """Quagga's uninstall path."""
         downloads = self.manager.apply(RouteUpdate.withdraw(prefix, timestamp))
-        self.kernel.apply_all(downloads)
+        self._download(downloads)
         return downloads
 
     def apply_update(self, update: RouteUpdate) -> list[FibDownload]:
         downloads = self.manager.apply(update)
-        self.kernel.apply_all(downloads)
+        self._download(downloads)
         return downloads
 
     def apply_batch(self, updates: Iterable[RouteUpdate]) -> list[FibDownload]:
@@ -78,19 +96,19 @@ class Zebra:
         announce+withdraw pair inside the burst never reaches it.
         """
         downloads = self.manager.apply_batch(updates)
-        self.kernel.apply_all(downloads)
+        self._download(downloads)
         return downloads
 
     # -- lifecycle ---------------------------------------------------------------
 
     def end_of_rib(self) -> list[FibDownload]:
         downloads = self.manager.end_of_rib()
-        self.kernel.apply_all(downloads)
+        self._download(downloads)
         return downloads
 
     def snapshot_now(self) -> list[FibDownload]:
         downloads = self.manager.snapshot_now()
-        self.kernel.apply_all(downloads)
+        self._download(downloads)
         return downloads
 
     # -- CLI activation knob --------------------------------------------------------
@@ -109,7 +127,7 @@ class Zebra:
         snapshot_burst = self.manager.snapshot_now()
         # The kernel currently holds the OT; move it to the new AT.
         delta = diff_tables(self.kernel.table(), self.manager.fib_table())
-        self.kernel.apply_all(delta)
+        self._download(delta)
         return delta if delta else snapshot_burst
 
     def disable_smalta(self) -> list[FibDownload]:
@@ -120,5 +138,5 @@ class Zebra:
         if self.manager.loading:
             return []
         delta = diff_tables(self.kernel.table(), self.manager.state.ot_table())
-        self.kernel.apply_all(delta)
+        self._download(delta)
         return delta

@@ -1,0 +1,130 @@
+"""Replay a trace through the router and report its metrics.
+
+The observability counterpart of ``repro.tools.report``: load a table,
+replay an update trace through the full :class:`~repro.router.pipeline.
+RouterPipeline` (sequential or batched), then render the metrics
+registry and event log in one of three formats.
+
+Usage::
+
+    python -m repro.tools.obs --table T.txt --trace TR.txt
+    python -m repro.tools.obs --table T.txt --trace TR.txt \\
+        --batch-size 50 --gap 0.02 --format prom -o metrics.prom
+    python -m repro.tools.obs --table T.txt --trace TR.txt --format json
+
+Formats: ``text`` (operator tables + event tail, the default), ``prom``
+(Prometheus text exposition 0.0.4), ``json`` (the
+:func:`~repro.obs.export.registry_to_dict` document). See
+``docs/OBSERVABILITY.md`` for the metric catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.policy import PeriodicUpdateCountPolicy, SnapshotPolicy
+from repro.obs.export import render_json, render_prometheus, render_text
+from repro.obs.observability import Observability
+from repro.router.pipeline import RouterPipeline
+from repro.workloads.trace_io import load_table, load_trace
+
+FORMATS = ("text", "prom", "json")
+
+
+def replay(
+    table_path: str,
+    trace_path: str,
+    batch_size: int | None = None,
+    gap_s: float | None = None,
+    snapshot_every: int | None = None,
+    smalta_enabled: bool = True,
+) -> RouterPipeline:
+    """Build a pipeline, replay the trace, return it with metrics live."""
+    table, registry = load_table(table_path)
+    trace, _ = load_trace(trace_path, registry)
+    policy: SnapshotPolicy | None = (
+        PeriodicUpdateCountPolicy(snapshot_every)
+        if snapshot_every is not None
+        else None
+    )
+    pipeline = RouterPipeline(
+        policy=policy, smalta_enabled=smalta_enabled, obs=Observability()
+    )
+    pipeline.load_table(table)
+    pipeline.end_of_rib()
+    pipeline.run_trace(trace, batch_size=batch_size, burst_gap_s=gap_s)
+    return pipeline
+
+
+def render(pipeline: RouterPipeline, format: str, events_tail: int = 10) -> str:
+    obs = pipeline.obs
+    if format == "prom":
+        return render_prometheus(obs.registry)
+    if format == "json":
+        return render_json(obs.registry)
+    return render_text(obs.registry, obs.events, tail=events_tail)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Replay a trace through the router and report metrics."
+    )
+    parser.add_argument("--table", required=True, help="initial table file")
+    parser.add_argument("--trace", required=True, help="update trace file")
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="burst size cap"
+    )
+    parser.add_argument(
+        "--gap", type=float, default=None, help="burst gap threshold (s)"
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot every N updates (default: manual only)",
+    )
+    parser.add_argument(
+        "--no-smalta",
+        action="store_true",
+        help="run the pass-through baseline instead of aggregating",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", help="output format"
+    )
+    parser.add_argument(
+        "--events", type=int, default=10, help="event-tail length (text format)"
+    )
+    parser.add_argument(
+        "-o", "--output", metavar="FILE", help="write the output to FILE"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        pipeline = replay(
+            args.table,
+            args.trace,
+            batch_size=args.batch_size,
+            gap_s=args.gap,
+            snapshot_every=args.snapshot_every,
+            smalta_enabled=not args.no_smalta,
+        )
+    except OSError as exc:
+        print(f"cannot load workload: {exc}", file=sys.stderr)
+        return 2
+
+    rendered = render(pipeline, args.format, events_tail=args.events)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+            if not rendered.endswith("\n"):
+                handle.write("\n")
+        print(f"metrics written to {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -65,7 +65,16 @@ WALL_CLOCK = frozenset(
 )
 
 #: Packages whose public functions must be fully annotated (REPRO005).
-ANNOTATED_PACKAGES = ("core", "net", "verify", "fib", "router")
+ANNOTATED_PACKAGES = (
+    "core",
+    "net",
+    "verify",
+    "fib",
+    "router",
+    "bgp",
+    "workloads",
+    "obs",
+)
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,10 @@ match the paper's Table 1 row for each router.
 from __future__ import annotations
 
 import math
+import random
 from typing import Sequence
+
+from repro.net.nexthop import Nexthop
 
 
 def entropy_bits(counts: Sequence[float]) -> float:
@@ -94,10 +97,10 @@ def counts_for_effective(
 
 def assign_skewed_nexthops(
     prefix_count: int,
-    nexthops: Sequence,
+    nexthops: Sequence[Nexthop],
     target_effective: float,
-    rng,
-) -> list:
+    rng: random.Random,
+) -> list[Nexthop]:
     """A nexthop per prefix index, shuffled, with E(R) ≈ target overall."""
     counts = counts_for_effective(prefix_count, len(nexthops), target_effective)
     assignment = [

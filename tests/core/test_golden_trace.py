@@ -17,6 +17,7 @@ the batch engine exists for).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -25,6 +26,13 @@ from repro.core.equivalence import semantically_equivalent
 from repro.core.manager import SmaltaManager
 from repro.core.policy import PeriodicUpdateCountPolicy
 from repro.net.update import iter_bursts
+from repro.obs.export import (
+    flatten_samples,
+    parse_prometheus,
+    registry_to_dict,
+    render_json,
+    render_prometheus,
+)
 from repro.workloads.trace_io import load_table, load_trace
 
 DATA = Path(__file__).resolve().parent.parent / "data"
@@ -43,6 +51,55 @@ EXPECTED_COMMON = {
 EXPECTED_SNAPSHOT_BURSTS = [204, 8, 15, 7, 15, 9, 21]
 EXPECTED_SEQUENTIAL_UPDATE_DOWNLOADS = 595
 EXPECTED_BATCH_UPDATE_DOWNLOADS = 53
+
+# Frozen metrics snapshot: every workload-deterministic counter the
+# registry holds after the replay (latency histograms are excluded —
+# their durations are wall-clock). Same freeze rule as the summary
+# numbers above: a change here is a behaviour change, not a speedup.
+EXPECTED_COUNTERS_COMMON = {
+    "smalta_audit_violations_total": 0,
+    "smalta_audits_total": 0,
+    'smalta_fib_downloads_total{cause="snapshot"}': 279,
+    "smalta_snapshots_total": 7,
+    "smalta_updates_queued_total": 0,
+    "smalta_updates_received_total": 600,
+}
+EXPECTED_COUNTERS_SEQUENTIAL = {
+    **EXPECTED_COUNTERS_COMMON,
+    'smalta_fib_downloads_total{cause="update"}': 595,
+    "smalta_inserts_total": 400,
+    "smalta_deletes_total": 200,
+    "smalta_reclaim_calls_total": 521,
+    "smalta_at_label_changes_total": 641,
+    "smalta_batches_total": 0,
+    "smalta_batch_updates_total": 0,
+    "smalta_batch_net_ops_total": 0,
+    "smalta_batch_skipped_total": 0,
+}
+EXPECTED_COUNTERS_BATCHED = {
+    **EXPECTED_COUNTERS_COMMON,
+    'smalta_fib_downloads_total{cause="update"}': 53,
+    # Coalescing in one view: 600 updates shrink to 72 net per-prefix
+    # operations (47 announces + 20 withdraws + 5 absent-OT withdraws
+    # skipped), so the algorithms run 67 times instead of 600.
+    "smalta_inserts_total": 47,
+    "smalta_deletes_total": 20,
+    "smalta_reclaim_calls_total": 48,
+    "smalta_at_label_changes_total": 57,
+    "smalta_batches_total": 12,
+    "smalta_batch_updates_total": 600,
+    "smalta_batch_net_ops_total": 72,
+    "smalta_batch_skipped_total": 5,
+}
+EXPECTED_GAUGES = {
+    "smalta_at_size": 208,
+    "smalta_ot_size": 390,
+    "smalta_updates_since_snapshot": 0,
+}
+# smalta_snapshot_burst_size per-bucket counts over SIZE_BUCKETS: the
+# bursts [204, 8, 15, 7, 15, 9, 21] land in (5,10]x3, (10,25]x3,
+# (100,250]x1.
+EXPECTED_BURST_BUCKET_COUNTS = [0, 0, 0, 3, 3, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0]
 
 
 @pytest.fixture(scope="module")
@@ -96,6 +153,63 @@ def test_golden_batched(golden):
     assert (
         manager.summary()["update_downloads"] == EXPECTED_BATCH_UPDATE_DOWNLOADS
     )
+
+
+def check_metrics(manager: SmaltaManager, expected_counters: dict) -> None:
+    registry = manager.obs.registry
+    from repro.obs.registry import Counter, Gauge
+
+    counters = {
+        i.key: int(i.value)
+        for i in registry.collect()
+        if isinstance(i, Counter)
+    }
+    assert counters == expected_counters
+    gauges = {
+        i.key: int(i.value) for i in registry.collect() if isinstance(i, Gauge)
+    }
+    assert gauges == EXPECTED_GAUGES
+    burst_hist = registry.get("smalta_snapshot_burst_size")
+    assert burst_hist is not None
+    assert burst_hist.bucket_counts == EXPECTED_BURST_BUCKET_COUNTS
+    assert burst_hist.count == 7 and burst_hist.sum == 279
+
+
+def test_golden_metrics_sequential(golden):
+    table, trace = golden
+    manager = fresh_manager(table)
+    for update in trace:
+        manager.apply(update)
+    check_metrics(manager, EXPECTED_COUNTERS_SEQUENTIAL)
+    assert manager.obs.events.counts()["snapshot"] == 7
+
+
+def test_golden_metrics_batched(golden):
+    table, trace = golden
+    manager = fresh_manager(table)
+    for burst in iter_bursts(trace, max_gap_s=0.02):
+        manager.apply_batch(burst)
+    check_metrics(manager, EXPECTED_COUNTERS_BATCHED)
+    assert manager.obs.events.counts() == {"snapshot": 7, "batch_drain": 12}
+
+
+def test_golden_exporters_round_trip(golden):
+    """Both exporters reproduce the golden run's registry exactly."""
+    table, trace = golden
+    manager = fresh_manager(table)
+    for update in trace:
+        manager.apply(update)
+    registry = manager.obs.registry
+    # Prometheus: render → parse equals the flattened sample map.
+    assert parse_prometheus(render_prometheus(registry)) == flatten_samples(
+        registry
+    )
+    # JSON: render → loads equals the structural dump, and the frozen
+    # counters are visible through it.
+    dump = json.loads(render_json(registry))
+    assert dump == registry_to_dict(registry)
+    assert dump["counters"]["smalta_updates_received_total"] == 600
+    assert dump["counters"]['smalta_fib_downloads_total{cause="update"}'] == 595
 
 
 def test_golden_paths_agree(golden):

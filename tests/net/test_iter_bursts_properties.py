@@ -1,0 +1,93 @@
+"""Property tests for :func:`repro.net.update.iter_bursts`.
+
+The burst grouper sits in front of the coalescing batch engine: if it
+drops, duplicates, or reorders updates, the batched replay silently
+diverges from the sequential one. These properties pin the contract for
+arbitrary (including out-of-order and clock-skewed) timestamp streams:
+
+- concatenating the bursts reproduces the input exactly, in order;
+- every burst is non-empty and respects ``max_size``;
+- consecutive updates inside a burst never differ by more than
+  ``max_gap_s`` (measured as |delta| — a backward clock step closes a
+  burst just like a forward quiet period);
+- ``max_size=1`` degenerates to singletons, ``max_gap_s=0`` splits on
+  any timestamp change.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate, iter_bursts
+
+P = Prefix.from_string("10.0.0.0/8")
+NH = Nexthop(0)
+
+# Timestamps deliberately unordered: collectors restart, NTP steps, and
+# multi-source merges all produce non-monotonic feeds.
+timestamps = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    max_size=60,
+)
+gaps = st.one_of(st.none(), st.floats(min_value=0.0, max_value=100.0))
+sizes = st.one_of(st.none(), st.integers(min_value=1, max_value=10))
+
+
+def make_trace(times: list[float]) -> list[RouteUpdate]:
+    return [RouteUpdate.announce(P, NH, timestamp=t) for t in times]
+
+
+@given(times=timestamps, max_gap_s=gaps, max_size=sizes)
+@settings(max_examples=200)
+def test_bursts_partition_the_stream(times, max_gap_s, max_size):
+    trace = make_trace(times)
+    if max_gap_s is None and max_size is None:
+        with pytest.raises(ValueError):
+            list(iter_bursts(trace, max_gap_s=max_gap_s, max_size=max_size))
+        return
+    bursts = list(iter_bursts(trace, max_gap_s=max_gap_s, max_size=max_size))
+    # Concatenation/order invariant: nothing dropped, added, or moved.
+    assert [u for burst in bursts for u in burst] == trace
+    for burst in bursts:
+        assert burst, "bursts are never empty"
+        if max_size is not None:
+            assert len(burst) <= max_size
+        if max_gap_s is not None:
+            for earlier, later in zip(burst, burst[1:]):
+                assert abs(later.timestamp - earlier.timestamp) <= max_gap_s
+
+
+@given(times=timestamps)
+def test_max_size_one_yields_singletons(times):
+    trace = make_trace(times)
+    bursts = list(iter_bursts(trace, max_size=1))
+    assert bursts == [[u] for u in trace]
+
+
+@given(times=timestamps)
+def test_zero_gap_splits_on_any_timestamp_change(times):
+    trace = make_trace(times)
+    for burst in iter_bursts(trace, max_gap_s=0.0):
+        stamps = {u.timestamp for u in burst}
+        assert len(stamps) == 1, "a zero gap tolerates no timestamp change"
+
+
+def test_backward_clock_step_closes_a_burst():
+    """The clock-skew edge: a big backward jump must not glue the stream
+    after the step into the pre-step burst."""
+    times = [0.0, 0.01, 0.02, -500.0, -499.99, -499.98]
+    bursts = list(iter_bursts(make_trace(times), max_gap_s=0.05))
+    assert [len(b) for b in bursts] == [3, 3]
+
+
+def test_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        list(iter_bursts([], max_gap_s=-1.0))
+    with pytest.raises(ValueError):
+        list(iter_bursts([], max_size=0))

@@ -1,0 +1,60 @@
+"""Unit tests for the bounded structured event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import Event, EventLog, NullEventLog
+
+
+class TestEvent:
+    def test_as_dict_and_getitem(self):
+        event = Event(seq=3, timestamp=1.5, kind="snapshot", fields=(("burst", 9),))
+        assert event.as_dict() == {
+            "seq": 3,
+            "timestamp": 1.5,
+            "kind": "snapshot",
+            "burst": 9,
+        }
+        assert event["burst"] == 9
+        with pytest.raises(KeyError):
+            event["missing"]
+
+
+class TestEventLog:
+    def test_emit_and_tail(self):
+        log = EventLog()
+        log.emit("a", timestamp=1.0)
+        log.emit("b", timestamp=2.0, fields={"n": 1})
+        assert log.emitted == 2 and len(log) == 2 and log.dropped == 0
+        assert [e.kind for e in log] == ["a", "b"]
+        assert [e.kind for e in log.tail(1)] == ["b"]
+        assert log.tail(0) == []
+        assert [e.seq for e in log] == [0, 1]
+
+    def test_ring_bound_drops_oldest_but_counts_survive(self):
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.emit("tick", timestamp=float(i))
+        assert len(log) == 3 and log.emitted == 10 and log.dropped == 7
+        assert [e.timestamp for e in log] == [7.0, 8.0, 9.0]
+        assert log.counts() == {"tick": 10}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_counts_is_a_copy(self):
+        log = EventLog()
+        log.emit("a")
+        counts = log.counts()
+        counts["a"] = 99
+        assert log.counts() == {"a": 1}
+
+
+class TestNullEventLog:
+    def test_emit_is_inert(self):
+        log = NullEventLog()
+        event = log.emit("snapshot", timestamp=5.0, fields={"x": 1})
+        assert event.kind == "null"
+        assert log.emitted == 0 and len(log) == 0 and log.counts() == {}

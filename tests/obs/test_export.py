@@ -1,0 +1,92 @@
+"""Unit tests for the Prometheus/JSON/text exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.events import EventLog
+from repro.obs.export import (
+    flatten_samples,
+    parse_prometheus,
+    registry_to_dict,
+    render_json,
+    render_prometheus,
+    render_text,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("ops_total", "operations", {"cause": "update"}).inc(5)
+    registry.counter("ops_total", "operations", {"cause": "snapshot"}).inc(2)
+    registry.gauge("table_size", "entries").set(123.0)
+    histogram = registry.histogram("latency_seconds", "op latency", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_headers_and_series(self):
+        text = render_prometheus(populated_registry())
+        assert "# HELP ops_total operations" in text
+        assert "# TYPE ops_total counter" in text
+        assert '# TYPE latency_seconds histogram' in text
+        assert 'ops_total{cause="update"} 5' in text
+        assert "table_size 123" in text
+        # Cumulative buckets plus the +Inf catch-all.
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_count 3" in text
+        # One TYPE header per metric name, even with two labeled series.
+        assert text.count("# TYPE ops_total counter") == 1
+
+    def test_round_trip_equals_flattened_samples(self):
+        registry = populated_registry()
+        assert parse_prometheus(render_prometheus(registry)) == flatten_samples(
+            registry
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert parse_prometheus(render_prometheus(MetricsRegistry())) == {}
+
+
+class TestJson:
+    def test_round_trip_through_json(self):
+        registry = populated_registry()
+        assert json.loads(render_json(registry)) == registry_to_dict(registry)
+
+    def test_structure(self):
+        dump = registry_to_dict(populated_registry())
+        assert dump["counters"] == {
+            'ops_total{cause="snapshot"}': 2.0,
+            'ops_total{cause="update"}': 5.0,
+        }
+        assert dump["gauges"] == {"table_size": 123.0}
+        histograms = dump["histograms"]
+        assert isinstance(histograms, dict)
+        latency = histograms["latency_seconds"]
+        assert latency["buckets"] == [["0.1", 1], ["1", 2], ["+Inf", 3]]
+        assert latency["count"] == 3
+        assert latency["p50"] == "1"
+        assert latency["p99"] == "+Inf"
+
+
+class TestText:
+    def test_tables_and_event_tail(self):
+        events = EventLog(capacity=2)
+        events.emit("snapshot", timestamp=1.0, fields={"burst": 9})
+        events.emit("snapshot", timestamp=2.0, fields={"burst": 3})
+        events.emit("audit_violation", timestamp=3.0, fields={"count": 1})
+        text = render_text(populated_registry(), events, tail=2)
+        assert "== counters ==" in text
+        assert "== gauges ==" in text
+        assert "== histograms ==" in text
+        assert "(last 2 of 3, 1 dropped)" in text
+        assert "audit_violation count=1" in text
+
+    def test_without_events(self):
+        text = render_text(populated_registry())
+        assert "events" not in text

@@ -1,0 +1,150 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    LATENCY_BUCKETS_S,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    series_key,
+)
+
+
+class TestSeriesKey:
+    def test_bare_name(self):
+        assert series_key("ops_total", ()) == "ops_total"
+
+    def test_labels_render_sorted_prequoted(self):
+        key = series_key("ops_total", (("cause", "update"), ("dir", "in")))
+        assert key == 'ops_total{cause="update",dir="in"}'
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10.0)
+        g.inc(5.0)
+        g.dec()
+        assert g.value == 14.0
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_observe_buckets_boundaries_inclusive(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            h.observe(value)
+        # upper bounds are inclusive, like Prometheus `le`
+        assert h.bucket_counts == [2, 2, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(27.5)
+        assert h.mean == pytest.approx(5.5)
+
+    def test_cumulative_ends_at_inf(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(100.0)
+        assert h.cumulative() == [(1.0, 1), (10.0, 1), (math.inf, 2)]
+
+    def test_percentile(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            h.observe(value)
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(0.25) == 1.0
+        assert h.percentile(0.75) == 2.0
+        assert h.percentile(1.0) == 4.0
+
+    def test_percentile_edge_cases(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert h.percentile(0.5) == 0.0  # empty
+        h.observe(50.0)
+        assert h.percentile(0.5) == math.inf  # overflow bucket
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_default_bucket_tables_are_increasing(self):
+        for table in (LATENCY_BUCKETS_S, SIZE_BUCKETS):
+            assert list(table) == sorted(table)
+            assert len(set(table)) == len(table)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_shares_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops_total", labels={"cause": "x"})
+        b = registry.counter("ops_total", labels={"cause": "x"})
+        assert a is b
+        a.inc()
+        assert registry.value("ops_total", {"cause": "x"}) == 1.0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", labels={"a": "1", "b": "2"})
+        b = registry.counter("c", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_collect_sorted_by_key(self):
+        registry = MetricsRegistry()
+        registry.counter("zzz")
+        registry.gauge("aaa")
+        registry.histogram("mmm")
+        assert [i.name for i in registry.collect()] == ["aaa", "mmm", "zzz"]
+        assert len(registry) == 3
+
+    def test_value_of_absent_series_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.value("nope") == 0.0
+        assert registry.get("nope") is None
+
+
+class TestNullRegistry:
+    def test_hands_out_shared_inert_instruments(self):
+        registry = NullRegistry()
+        c = registry.counter("c")
+        g = registry.gauge("g")
+        h = registry.histogram("h")
+        assert c is NULL_COUNTER and g is NULL_GAUGE and h is NULL_HISTOGRAM
+        c.inc(100)
+        g.set(7.0)
+        g.inc()
+        g.dec()
+        h.observe(1.0)
+        assert c.value == 0.0 and g.value == 0.0 and h.count == 0
+        assert registry.collect() == [] and len(registry) == 0

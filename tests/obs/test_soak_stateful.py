@@ -1,0 +1,167 @@
+"""Metrics-aware soak test: the registry never disagrees with the system.
+
+A hypothesis state machine drives a full :class:`~repro.router.zebra.
+Zebra` (SmaltaManager + KernelFib, one shared metrics registry) through
+arbitrary interleavings of single updates, coalesced batches, and forced
+snapshots. After every step it cross-checks three independent views that
+must stay identical forever:
+
+1. the metrics registry's download counters vs the
+   :class:`~repro.core.downloads.DownloadLog` attributes (the registry is
+   a mirror — any drift means an instrumentation bug);
+2. the download stream replayed into a shadow FIB vs the kernel's table
+   (the stream is self-describing: replaying it reconstructs the FIB);
+3. the aggregated state vs the reference model (the paper's semantic
+   equivalence, so the observability pass cannot have perturbed
+   forwarding).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.downloads import DownloadKind, FibDownload
+from repro.core.equivalence import equivalence_counterexample
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate
+from repro.router.zebra import Zebra
+
+from tests.conftest import make_nexthops
+
+WIDTH = 5
+NEXTHOPS = make_nexthops(3)
+
+prefix_strategy = st.builds(
+    lambda length, bits: Prefix(
+        (bits & ((1 << length) - 1)) << (WIDTH - length), length, WIDTH
+    ),
+    st.integers(min_value=1, max_value=WIDTH),
+    st.integers(min_value=0, max_value=(1 << WIDTH) - 1),
+)
+nexthop_strategy = st.sampled_from(NEXTHOPS)
+update_strategy = st.one_of(
+    st.builds(RouteUpdate.announce, prefix_strategy, nexthop_strategy),
+    st.builds(RouteUpdate.withdraw, prefix_strategy),
+)
+
+
+def replay_downloads(
+    fib: dict[Prefix, Nexthop], downloads: list[FibDownload]
+) -> None:
+    for download in downloads:
+        if download.kind is DownloadKind.INSERT:
+            assert download.nexthop is not None
+            fib[download.prefix] = download.nexthop
+        else:
+            fib.pop(download.prefix, None)
+
+
+class ObservedRouterMachine(RuleBasedStateMachine):
+    """Reference model: a dict. System under test: Zebra + its registry."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.zebra = Zebra(width=WIDTH)
+        self.zebra.end_of_rib()  # empty initial table; leaves loading mode
+        self.model: dict[Prefix, Nexthop] = {}
+        self.shadow_fib: dict[Prefix, Nexthop] = {}
+        self.updates_sent = 0
+        # end_of_rib ran one (empty) snapshot already; fold it in.
+        replay_downloads(self.shadow_fib, [])
+
+    def _absorb(self, downloads: list[FibDownload]) -> None:
+        replay_downloads(self.shadow_fib, downloads)
+
+    def _model_apply(self, update: RouteUpdate) -> None:
+        if update.is_announce:
+            assert update.nexthop is not None
+            self.model[update.prefix] = update.nexthop
+        else:
+            self.model.pop(update.prefix, None)
+
+    @rule(update=update_strategy)
+    def single_update(self, update: RouteUpdate) -> None:
+        self._absorb(self.zebra.apply_update(update))
+        self._model_apply(update)
+        self.updates_sent += 1
+
+    @rule(updates=st.lists(update_strategy, min_size=1, max_size=8))
+    def batch(self, updates: list[RouteUpdate]) -> None:
+        self._absorb(self.zebra.apply_batch(updates))
+        for update in updates:
+            self._model_apply(update)
+        self.updates_sent += len(updates)
+
+    @rule()
+    def forced_snapshot(self) -> None:
+        self._absorb(self.zebra.snapshot_now())
+
+    # -- the cross-layer consistency invariants --------------------------
+
+    @invariant()
+    def registry_matches_download_log(self) -> None:
+        registry = self.zebra.obs.registry
+        log = self.zebra.manager.log
+        assert registry.value(
+            "smalta_fib_downloads_total", {"cause": "update"}
+        ) == log.update_downloads
+        assert registry.value(
+            "smalta_fib_downloads_total", {"cause": "snapshot"}
+        ) == log.snapshot_downloads
+        assert registry.value("smalta_snapshots_total") == log.snapshot_count
+        assert registry.value("smalta_updates_received_total") == (
+            self.updates_sent
+        )
+        burst_hist = registry.get("smalta_snapshot_burst_size")
+        assert burst_hist is not None and burst_hist.count == log.snapshot_count
+
+    @invariant()
+    def registry_matches_kernel(self) -> None:
+        registry = self.zebra.obs.registry
+        kernel = self.zebra.kernel
+        assert registry.value(
+            "kernel_fib_ops_total", {"op": "install"}
+        ) == kernel.installs
+        assert registry.value(
+            "kernel_fib_ops_total", {"op": "uninstall"}
+        ) == kernel.uninstalls
+        assert registry.value(
+            "kernel_fib_ops_total", {"op": "failed_uninstall"}
+        ) == kernel.failed_uninstalls
+        assert registry.value("zebra_kernel_downloads_total") == (
+            self.zebra.manager.log.total
+        )
+
+    @invariant()
+    def download_stream_replays_to_the_fib(self) -> None:
+        assert self.shadow_fib == self.zebra.kernel.table()
+        assert self.shadow_fib == self.zebra.manager.fib_table()
+
+    @invariant()
+    def forwarding_matches_model(self) -> None:
+        assert self.zebra.manager.state.ot_table() == self.model
+        counterexample = equivalence_counterexample(
+            self.model, self.zebra.manager.fib_table(), WIDTH
+        )
+        assert counterexample is None, counterexample
+
+    @invariant()
+    def snapshot_events_match_snapshot_count(self) -> None:
+        events = self.zebra.obs.events
+        assert events.counts().get("snapshot", 0) == (
+            self.zebra.manager.log.snapshot_count
+        )
+
+
+TestObservedRouterMachine = ObservedRouterMachine.TestCase
+TestObservedRouterMachine.settings = settings(
+    max_examples=80, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,84 @@
+"""Unit tests for tracing spans and the Observability facade."""
+
+from __future__ import annotations
+
+from repro.obs.observability import Observability
+from repro.obs.registry import MetricsRegistry, NullRegistry
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+
+class CountingClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.step = step
+        self.reads = 0
+
+    def __call__(self) -> float:
+        self.reads += 1
+        return self.reads * self.step
+
+
+class TestTracer:
+    def test_span_records_duration(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, clock=CountingClock(step=0.001))
+        with tracer.span("op", "help text") as span:
+            pass
+        histogram = registry.get("op_seconds")
+        assert histogram is not None
+        assert histogram.count == 1
+        # Two clock reads, 1ms apart.
+        assert span.duration == 0.001
+        assert histogram.sum == 0.001
+
+    def test_span_caches_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, clock=CountingClock())
+        with tracer.span("op"):
+            pass
+        with tracer.span("op"):
+            pass
+        histogram = registry.get("op_seconds")
+        assert histogram is not None and histogram.count == 2
+        assert len(registry) == 1
+
+    def test_span_records_even_when_block_raises(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, clock=CountingClock())
+        try:
+            with tracer.span("op"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        histogram = registry.get("op_seconds")
+        assert histogram is not None and histogram.count == 1
+
+    def test_null_registry_never_reads_the_clock(self):
+        clock = CountingClock()
+        tracer = Tracer(NullRegistry(), clock=clock)
+        assert not tracer.enabled
+        with tracer.span("op") as span:
+            pass
+        assert span is NULL_SPAN
+        assert clock.reads == 0
+
+
+class TestObservability:
+    def test_event_stamped_with_injected_clock(self):
+        clock = CountingClock(step=2.0)
+        obs = Observability(clock=clock)
+        event = obs.event("snapshot", burst=9)
+        assert event.timestamp == 2.0
+        assert event["burst"] == 9
+        assert obs.events.counts() == {"snapshot": 1}
+
+    def test_null_is_shared_and_inert(self):
+        null = Observability.null()
+        assert Observability.null() is null
+        assert not null.enabled
+        with null.span("op"):
+            pass
+        event = null.event("snapshot", burst=1)
+        assert event.kind == "null"
+        assert len(null.registry) == 0 and len(null.events) == 0
