@@ -195,3 +195,59 @@ def test_bench_burst_coalescing_ratio(bench_table, burst_trace):
         },
     )
     assert net < total
+
+
+def test_bench_channel_overhead(bench_table):
+    """Zero-fault DownloadChannel vs direct ``apply_all`` (≤5% overhead).
+
+    With no fault plan the channel takes its fast path — one branch and
+    a counter bump per batch on top of the verbatim pre-channel stream —
+    so wrapping every download in resilience machinery must cost
+    essentially nothing when the link is healthy.
+    """
+    from repro.core.downloads import diff_tables
+    from repro.router.channel import DownloadChannel
+    from repro.router.kernel import KernelFib
+    from repro.router.reconcile import Reconciler
+
+    table, _ = bench_table
+    ops = diff_tables({}, table)
+    batches = [ops[i : i + 200] for i in range(0, len(ops), 200)]
+
+    timings = {"direct": float("inf"), "channel": float("inf")}
+    checks = {}
+    # Interleave modes so neither benefits from cache warm-up ordering.
+    for _ in range(REPEATS):
+        for mode in ("direct", "channel"):
+            kernel = KernelFib(width=32)
+            if mode == "channel":
+                channel = DownloadChannel(
+                    kernel, Reconciler(kernel, lambda: dict(table))
+                )
+                started = time.perf_counter()
+                for batch in batches:
+                    channel.send(batch)
+            else:
+                started = time.perf_counter()
+                for batch in batches:
+                    kernel.apply_all(batch)
+            timings[mode] = min(timings[mode], time.perf_counter() - started)
+            checks[mode] = (len(kernel), kernel.operations)
+
+    # Byte-identical outcome: same table size, same op count.
+    assert checks["direct"] == checks["channel"]
+    speedup = timings["direct"] / timings["channel"]
+    _record(
+        "channel_overhead",
+        {
+            "workload": f"{len(ops)} insert downloads in batches of 200",
+            "direct_s": round(timings["direct"], 6),
+            "channel_s": round(timings["channel"], 6),
+            "channel_ops_per_s": round(len(ops) / timings["channel"], 1),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert speedup >= 0.95, (
+        f"zero-fault channel more than 5% slower than direct apply_all: "
+        f"{speedup:.2f}x"
+    )

@@ -290,28 +290,37 @@ class SmaltaManager:
 
     # -- snapshot ------------------------------------------------------------
 
-    def snapshot_now(self, trigger: str = "manual") -> list[FibDownload]:
+    def snapshot_now(
+        self, trigger: str = "manual", record: bool = True
+    ) -> list[FibDownload]:
         """Run snapshot(OT), record the burst, then drain queued updates.
 
         ``trigger`` labels the emitted "snapshot" event: "manual" for
         direct calls, "policy" when a snapshot policy fired,
         "end_of_rib" for the initial table download.
+
+        With ``record=False`` the AT is rebuilt but the burst is *not*
+        accounted (no download-log record, no snapshot counter, no
+        event) — the toggle path in :class:`~repro.router.zebra.Zebra`
+        uses this because what ships to the kernel there is a
+        ``diff_tables`` delta it logs itself, not this burst.
         """
         if not self.enabled:
             return []
         self._in_snapshot = True
         started = self._clock()
         try:
-            burst = self.state.snapshot()
+            burst = self.state.snapshot(count=record)
         finally:
             self._in_snapshot = False
         duration = self._clock() - started
         self.snapshot_durations.append(duration)
         self._h_snapshot_s.observe(duration)
-        self.log.record_snapshot_burst(burst)
-        self.obs.event(
-            "snapshot", trigger=trigger, burst=len(burst), duration_s=duration
-        )
+        if record:
+            self.log.record_snapshot_burst(burst)
+            self.obs.event(
+                "snapshot", trigger=trigger, burst=len(burst), duration_s=duration
+            )
         self.updates_since_snapshot = 0
         self._g_since_snapshot.set(0.0)
         self.policy.on_snapshot(self.state.at_size)

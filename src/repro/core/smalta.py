@@ -396,7 +396,7 @@ class SmaltaState:
 
     # -- snapshot -----------------------------------------------------------
 
-    def snapshot(self, fast: bool = True) -> list[FibDownload]:
+    def snapshot(self, fast: bool = True, count: bool = True) -> list[FibDownload]:
         """snapshot(OT): rebuild the AT optimally via ORTC (Section 2.1).
 
         Returns the FIB-download delta between the pre- and post-snapshot
@@ -409,9 +409,14 @@ class SmaltaState:
         every OT entry bit-by-bit from the root; ``fast=False`` keeps the
         entry-stream baseline the batch benchmark compares against. Both
         produce the identical optimal table.
+
+        ``count=False`` suppresses the ``smalta_snapshots_total``
+        increment — used by the runtime toggle, which accounts its
+        full-table swap as one snapshot-class event of its own.
         """
         trie = self.trie
-        self._c_snapshots.inc()
+        if count:
+            self._c_snapshots.inc()
         with self.obs.span(
             "smalta_ortc", "ORTC rebuild inside snapshot(OT)"
         ):

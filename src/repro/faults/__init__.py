@@ -1,0 +1,19 @@
+"""Fault injection for the download path (see docs/RESILIENCE.md)."""
+
+from repro.faults.clock import VirtualClock
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultDecision,
+    FaultKind,
+    FaultPlan,
+    FaultRates,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultDecision",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRates",
+    "VirtualClock",
+]

@@ -1,0 +1,40 @@
+"""A controllable clock for driving retry/backoff logic in tests.
+
+The repo's injected-clock seam (:class:`~repro.core.manager.
+SmaltaManager`, :class:`~repro.obs.observability.Observability`) takes a
+plain ``Callable[[], float]``. :class:`VirtualClock` is that callable
+plus the two verbs resilience code needs: ``sleep`` (advance time, as a
+backoff wait would) and ``advance`` (move time from the outside). The
+:class:`~repro.router.channel.DownloadChannel` accepts the clock and the
+sleep separately, so a test can pass ``clock=vc, sleep=vc.sleep`` and
+read the exact backoff schedule off ``vc.sleeps``.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Deterministic time: advances only when told to."""
+
+    __slots__ = ("_now", "sleeps")
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        #: Every sleep duration requested, in order (the backoff trace).
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Record and apply one wait (the channel's backoff seam)."""
+        self.sleeps.append(seconds)
+        self.advance(seconds)

@@ -1,0 +1,165 @@
+"""Deterministic, seeded fault injection for the zebra→kernel channel.
+
+The simulated netlink of :class:`~repro.router.kernel.KernelFib` never
+fails, so nothing downstream of SMALTA ever exercises the conditions a
+real router faces: dropped netlink messages (detected by a missing ACK),
+``errno`` returns, slow acknowledgements, and duplicated deliveries
+after a retransmit. A :class:`FaultPlan` is the seam that makes those
+conditions reproducible — it is injected into the
+:class:`~repro.router.channel.DownloadChannel` the same way the repo
+injects clocks (see :class:`~repro.core.manager.SmaltaManager`): an
+optional constructor argument, ``None`` meaning "the fault-free world".
+
+Determinism contract: two plans built with the same :class:`FaultRates`
+and seed produce the identical decision sequence, decision by decision,
+regardless of wall clock or interleaving. Every retry/backoff/resync
+behaviour downstream is therefore replayable from ``(rates, seed)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+
+class FaultKind(enum.Enum):
+    """What happens to one delivery attempt of one FIB download."""
+
+    DELIVER = "deliver"  #: the op reaches the kernel normally
+    DROP = "drop"  #: the op is lost; the sender sees an ACK timeout
+    ERROR = "error"  #: the kernel rejects the op (netlink errno)
+    LATENCY = "latency"  #: the op is delivered after an added delay
+    DUPLICATE = "duplicate"  #: the op is delivered twice (retransmit race)
+
+
+#: The injectable (non-DELIVER) kinds, in cumulative-threshold order.
+FAULT_KINDS: tuple[FaultKind, ...] = (
+    FaultKind.DROP,
+    FaultKind.ERROR,
+    FaultKind.LATENCY,
+    FaultKind.DUPLICATE,
+)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One attempt's fate: the kind plus any added delivery delay."""
+
+    kind: FaultKind
+    delay_s: float = 0.0
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the kernel received the op (possibly late or twice)."""
+        return self.kind not in (FaultKind.DROP, FaultKind.ERROR)
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-attempt probabilities of each fault kind (the rest delivers).
+
+    The four rates must each be in [0, 1] and sum to at most 1; the
+    remainder is the clean-delivery probability.
+    """
+
+    drop: float = 0.0
+    error: float = 0.0
+    latency: float = 0.0
+    duplicate: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for name in ("drop", "error", "latency", "duplicate"):
+            value = float(getattr(self, name))
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {value}")
+            total += value
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fault rates sum to {total}, above 1.0")
+
+    @property
+    def total(self) -> float:
+        return self.drop + self.error + self.latency + self.duplicate
+
+    def thresholds(self) -> tuple[float, float, float, float]:
+        """Cumulative roll thresholds in :data:`FAULT_KINDS` order."""
+        a = self.drop
+        b = a + self.error
+        c = b + self.latency
+        return (a, b, c, c + self.duplicate)
+
+
+class FaultPlan:
+    """A seeded stream of :class:`FaultDecision` values.
+
+    One :meth:`decide` call consumes exactly one PRNG roll (plus one for
+    the latency magnitude when a LATENCY fault fires), so the decision
+    sequence is a pure function of ``(rates, seed)`` and the number of
+    prior calls. ``counts`` keeps the per-kind totals for reporting and
+    for the channel's ``channel_faults_injected_total`` mirror.
+    """
+
+    __slots__ = ("rates", "seed", "latency_s", "_rng", "_thresholds", "counts")
+
+    def __init__(
+        self,
+        rates: FaultRates,
+        seed: int = 0,
+        latency_s: float = 0.005,
+    ) -> None:
+        if latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        self.rates = rates
+        self.seed = seed
+        self.latency_s = latency_s
+        self._rng = random.Random(seed)
+        self._thresholds = rates.thresholds()
+        self.counts: dict[FaultKind, int] = {kind: 0 for kind in FaultKind}
+
+    @classmethod
+    def lossless(cls, seed: int = 0) -> "FaultPlan":
+        """A plan that never injects anything (still deterministic)."""
+        return cls(FaultRates(), seed=seed)
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """The same rate on all four fault kinds."""
+        return cls(
+            FaultRates(drop=rate, error=rate, latency=rate, duplicate=rate),
+            seed=seed,
+        )
+
+    def decide(self) -> FaultDecision:
+        """The fate of the next delivery attempt."""
+        roll = self._rng.random()
+        kind = FaultKind.DELIVER
+        for threshold, candidate in zip(self._thresholds, FAULT_KINDS):
+            if roll < threshold:
+                kind = candidate
+                break
+        self.counts[kind] += 1
+        if kind is FaultKind.LATENCY:
+            return FaultDecision(kind, delay_s=self._rng.random() * self.latency_s)
+        return FaultDecision(kind)
+
+    @property
+    def decisions(self) -> int:
+        """Total attempts adjudicated so far."""
+        return sum(self.counts.values())
+
+    @property
+    def injected(self) -> int:
+        """Attempts that did not deliver cleanly."""
+        return self.decisions - self.counts[FaultKind.DELIVER]
+
+    def summary(self) -> dict[str, int]:
+        """Per-kind decision counts keyed by the kind value."""
+        return {kind.value: count for kind, count in self.counts.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, drop={self.rates.drop}, "
+            f"error={self.rates.error}, latency={self.rates.latency}, "
+            f"duplicate={self.rates.duplicate})"
+        )

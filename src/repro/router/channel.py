@@ -1,0 +1,268 @@
+"""The resilient download channel between zebra and the kernel FIB.
+
+Figure 1's download arrow is where SMALTA's "deployable layer" claims
+live, and on a real router that arrow is a lossy netlink socket: ops are
+dropped (missing ACK), rejected (errno), delayed, or duplicated by
+retransmits. :class:`DownloadChannel` carries every
+:class:`~repro.core.downloads.FibDownload` batch across that arrow with
+the defences Open/R's FibAgent uses:
+
+1. **fault seam** — an optional :class:`~repro.faults.FaultPlan`
+   adjudicates every delivery attempt (deterministic and seeded, so any
+   failure run replays exactly);
+2. **retry** — a failed attempt is retried up to ``max_attempts`` times
+   with exponential backoff plus deterministic jitter, charged to the
+   injected clock through the ``sleep`` seam (no real sleeping in
+   simulation);
+3. **bounded pending queue** — a batch is parked op-by-op in a FIFO of
+   at most ``max_pending`` ops while it drains; a burst larger than the
+   bound skips per-op signalling entirely (bulk programming is what
+   ``syncFib`` is for);
+4. **escalation** — when retries exhaust or the queue overflows, the
+   channel abandons the per-op stream and calls the
+   :class:`~repro.router.reconcile.Reconciler`, whose full sync restores
+   ``kernel ≡ FIB`` under any fault plan.
+
+With no fault plan configured the channel is a straight delegation to
+``KernelFib.apply_all`` — byte-identical to the pre-channel download
+stream and within 5% of its throughput (``benchmarks/test_bench_batch.
+py`` pins this).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.downloads import FibDownload
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.obs.observability import Clock, Observability
+from repro.router.kernel import KernelFib
+from repro.router.reconcile import Reconciler
+
+#: The backoff-wait seam; ``None`` means "account but do not wait".
+Sleep = Callable[[float], None]
+
+
+class ChannelState(enum.Enum):
+    """Where the channel is in its delivery state machine."""
+
+    HEALTHY = "healthy"  #: all sent ops delivered; queue empty
+    RETRYING = "retrying"  #: draining the pending queue through faults
+    RECONCILING = "reconciling"  #: escalated to a full-sync repair
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Knobs of the resilient channel (CLI-exposed; see RESILIENCE.md)."""
+
+    max_attempts: int = 6  #: delivery attempts per op before escalating
+    backoff_base_s: float = 0.001  #: first retry wait
+    backoff_cap_s: float = 0.050  #: ceiling of the exponential schedule
+    jitter: float = 0.1  #: ±fraction of deterministic jitter per wait
+    ack_timeout_s: float = 0.010  #: wait charged to a DROP before retrying
+    max_pending: int = 1024  #: pending-queue bound; overflow → full sync
+    seed: int = 0  #: jitter PRNG seed (independent of the fault plan's)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_s(self, retry_index: int, fraction: float = 0.5) -> float:
+        """The wait before retry ``retry_index`` (0-based), jittered.
+
+        The undithered schedule is ``backoff_base_s * 2**retry_index``
+        capped at ``backoff_cap_s``; ``fraction`` in [0, 1) dithers it by
+        a multiplier in ``[1 - jitter, 1 + jitter)`` (0.5 = no dither).
+        """
+        raw = min(self.backoff_cap_s, self.backoff_base_s * (2.0**retry_index))
+        return raw * (1.0 + self.jitter * (2.0 * fraction - 1.0))
+
+
+class DownloadChannel:
+    """Carries FIB download batches to the kernel through the fault seam."""
+
+    def __init__(
+        self,
+        kernel: KernelFib,
+        reconciler: Reconciler,
+        config: Optional[ChannelConfig] = None,
+        faults: Optional[FaultPlan] = None,
+        clock: Clock = time.perf_counter,
+        sleep: Optional[Sleep] = None,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.reconciler = reconciler
+        self.config = config if config is not None else ChannelConfig()
+        self.faults = faults
+        self.clock = clock
+        self._sleep: Sleep = sleep if sleep is not None else (lambda seconds: None)
+        self.obs = obs if obs is not None else Observability.null()
+        self.state = ChannelState.HEALTHY
+        self._pending: deque[FibDownload] = deque()
+        self._jitter_rng = random.Random(self.config.seed)
+        # Functional accounting (mirrored into the registry below).
+        self.ops_sent = 0
+        self.retries = 0
+        self.failed_ops = 0
+        self.resyncs = 0
+        registry = self.obs.registry
+        self._c_sent = registry.counter(
+            "channel_ops_sent_total", "FIB ops delivered through the channel"
+        )
+        self._c_retries = registry.counter(
+            "channel_retries_total", "per-op delivery retries"
+        )
+        self._c_failed = registry.counter(
+            "channel_ops_failed_total", "ops abandoned after exhausting retries"
+        )
+        self._c_faults = {
+            kind: registry.counter(
+                "channel_faults_injected_total",
+                "fault decisions taken against delivery attempts",
+                labels={"kind": kind.value},
+            )
+            for kind in (
+                FaultKind.DROP,
+                FaultKind.ERROR,
+                FaultKind.LATENCY,
+                FaultKind.DUPLICATE,
+            )
+        }
+        self._c_resync_trigger = {
+            trigger: registry.counter(
+                "channel_resync_triggers_total",
+                "escalations to full sync, by cause",
+                labels={"trigger": trigger},
+            )
+            for trigger in ("retries_exhausted", "queue_overflow", "manual")
+        }
+        self._g_depth = registry.gauge(
+            "channel_pending_depth", "ops parked in the pending queue"
+        )
+
+    # -- the send path ----------------------------------------------------
+
+    def send(self, downloads: list[FibDownload]) -> None:
+        """Deliver one download batch; returns once the kernel converged.
+
+        The call is synchronous: on return, either every op was delivered
+        (possibly after retries) or a full-sync reconciliation repaired
+        the kernel — in both cases ``kernel ≡ desired FIB`` holds again.
+        """
+        if len(downloads) == 0:
+            return
+        if self.faults is None and len(self._pending) == 0:
+            # Fault-free fast path: the pre-channel stream, verbatim.
+            self.kernel.apply_all(downloads)
+            self.ops_sent += len(downloads)
+            self._c_sent.inc(len(downloads))
+            return
+        for download in downloads:
+            if len(self._pending) >= self.config.max_pending:
+                self._escalate("queue_overflow")
+                return
+            self._pending.append(download)
+        self._g_depth.set(float(len(self._pending)))
+        self._drain()
+
+    def flush(self) -> None:
+        """Drain anything still pending (a convergence point)."""
+        if len(self._pending) > 0:
+            self._drain()
+
+    def resync(self, trigger: str = "manual") -> None:
+        """Force a full-sync reconciliation (the CLI's ``channel resync``)."""
+        self._escalate(trigger)
+
+    # -- internals --------------------------------------------------------
+
+    def _drain(self) -> None:
+        self.state = ChannelState.RETRYING
+        while self._pending:
+            if not self._deliver(self._pending[0]):
+                self._escalate("retries_exhausted")
+                return
+            self._pending.popleft()
+            self._g_depth.set(float(len(self._pending)))
+        self.state = ChannelState.HEALTHY
+
+    def _deliver(self, op: FibDownload) -> bool:
+        """Try one op up to ``max_attempts`` times; True when delivered."""
+        plan = self.faults
+        for attempt in range(self.config.max_attempts):
+            if attempt > 0:
+                self.retries += 1
+                self._c_retries.inc()
+                self._sleep(
+                    self.config.backoff_s(attempt - 1, self._jitter_rng.random())
+                )
+            decision = plan.decide() if plan is not None else None
+            if decision is None:
+                self._apply(op)
+                return True
+            if decision.kind is not FaultKind.DELIVER:
+                self._c_faults[decision.kind].inc()
+            if decision.delivered:
+                if decision.kind is FaultKind.LATENCY:
+                    self._sleep(decision.delay_s)
+                self._apply(op)
+                if decision.kind is FaultKind.DUPLICATE:
+                    # The retransmit raced the ACK: the kernel sees it twice.
+                    self.kernel.apply(op)
+                return True
+            if decision.kind is FaultKind.DROP:
+                # A drop surfaces as a missing ACK, after the timeout.
+                self._sleep(self.config.ack_timeout_s)
+        self.failed_ops += 1
+        self._c_failed.inc()
+        return False
+
+    def _apply(self, op: FibDownload) -> None:
+        self.kernel.apply(op)
+        self.ops_sent += 1
+        self._c_sent.inc()
+
+    def _escalate(self, trigger: str) -> None:
+        """Abandon the per-op stream; repair with one full sync."""
+        self.state = ChannelState.RECONCILING
+        abandoned = len(self._pending)
+        self._pending.clear()
+        self._g_depth.set(0.0)
+        self.resyncs += 1
+        counter = self._c_resync_trigger.get(trigger)
+        if counter is None:
+            counter = self._c_resync_trigger["manual"]
+        counter.inc()
+        self.obs.event("channel_escalation", trigger=trigger, abandoned=abandoned)
+        self.reconciler.sync(trigger=trigger)
+        self.state = ChannelState.HEALTHY
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Ops currently parked in the queue."""
+        return len(self._pending)
+
+    def status(self) -> dict[str, int]:
+        """Operator-facing counters (the CLI's ``show channel status``)."""
+        return {
+            "pending": self.pending,
+            "ops_sent": self.ops_sent,
+            "retries": self.retries,
+            "failed_ops": self.failed_ops,
+            "resyncs": self.resyncs,
+            "faults_injected": (
+                self.faults.injected if self.faults is not None else 0
+            ),
+        }

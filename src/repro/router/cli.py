@@ -21,6 +21,8 @@ class RouterCli:
         "show fib summary",
         "show fib",
         "show rib summary",
+        "show channel status",
+        "channel resync",
         "help",
     )
 
@@ -70,4 +72,28 @@ class RouterCli:
             return "\n".join(rows) if rows else "(empty)"
         if command == "show rib summary":
             return f"RIB (original tree): {self.zebra.manager.ot_size} entries"
+        if command == "show channel status":
+            channel = self.zebra.channel
+            fault_line = (
+                f"  fault plan:              {channel.faults!r}"
+                if channel.faults is not None
+                else "  fault plan:              none (reliable)"
+            )
+            return (
+                f"download channel: {channel.state.value}\n"
+                f"{fault_line}\n"
+                f"  ops delivered:           {channel.ops_sent}\n"
+                f"  retries:                 {channel.retries}\n"
+                f"  ops abandoned:           {channel.failed_ops}\n"
+                f"  pending queue depth:     {channel.pending}\n"
+                f"  full-sync reconciles:    {channel.resyncs}"
+            )
+        if command == "channel resync":
+            self.zebra.channel.resync("manual")
+            report = self.zebra.reconciler
+            return (
+                f"full sync complete: {report.repaired_ops} ops repaired "
+                f"over {report.syncs} syncs "
+                f"(kernel: {len(self.zebra.kernel)} entries)"
+            )
         return f"unknown command: {line!r} (try 'help')"

@@ -82,12 +82,14 @@ class KernelFib:
                 # Mirrors the kernel's ESRCH on deleting a missing route.
                 self.failed_uninstalls += 1
                 self._c_failed.inc()
+        # Refreshed here, not only in apply_all: direct apply() callers
+        # (the resilient channel delivers op by op) must never leave the
+        # scraped size stale.
+        self._g_size.set(float(len(self._table)))
 
     def apply_all(self, downloads: list[FibDownload]) -> None:
         for download in downloads:
             self.apply(download)
-        if downloads:
-            self._g_size.set(float(len(self._table)))
 
     # -- data path -------------------------------------------------------------
 

@@ -12,14 +12,17 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.bgp.attributes import PathAttributes
+from repro.bgp.graceful_restart import GracefulRestartManager
 from repro.bgp.rib import LocRib, Route
 from repro.bgp.session import SessionManager
 from repro.core.downloads import DownloadLog
 from repro.core.policy import SnapshotPolicy
+from repro.faults.plan import FaultPlan
 from repro.net.nexthop import Nexthop, RoundRobinIgpMapper
 from repro.net.prefix import Prefix
 from repro.net.update import RouteUpdate, UpdateKind, UpdateTrace, iter_bursts
 from repro.obs.observability import Observability
+from repro.router.channel import ChannelConfig
 from repro.router.kernel import KernelFib
 from repro.router.zebra import Zebra
 from repro.verify.audit import AuditConfig
@@ -56,9 +59,12 @@ class RouterPipeline:
         snapshot_delay_model: Optional[float] = None,
         audit: Optional[AuditConfig] = None,
         obs: Optional[Observability] = None,
+        faults: Optional[FaultPlan] = None,
+        channel_config: Optional[ChannelConfig] = None,
     ) -> None:
         #: One Observability instance for the whole router; every layer
-        #: below (zebra, manager, state, kernel) shares its registry.
+        #: below (zebra, manager, state, kernel, channel) shares its
+        #: registry.
         self.obs = obs if obs is not None else Observability()
         self.loc_rib = LocRib()
         self.sessions = SessionManager()
@@ -71,7 +77,11 @@ class RouterPipeline:
             download_log=self.download_log,
             audit=audit,
             obs=self.obs,
+            faults=faults,
+            channel_config=channel_config,
         )
+        #: Lazily constructed on the first graceful peer drop (RFC 4724).
+        self._graceful: Optional[GracefulRestartManager] = None
         self._c_updates = self.obs.registry.counter(
             "pipeline_updates_total", "updates pushed through the pipeline"
         )
@@ -122,16 +132,14 @@ class RouterPipeline:
         """GR-capable session loss: routes are retained as stale and no
         FIB downloads occur (RFC 4724); call :meth:`expire_graceful` when
         the restart timer lapses without the peer returning."""
-        from repro.bgp.graceful_restart import GracefulRestartManager
-
-        if not hasattr(self, "_graceful"):
+        if self._graceful is None:
             self._graceful = GracefulRestartManager(self.loc_rib)
         self.sessions.drop(peer)
         self._forward(self._graceful.peer_down_graceful(peer, timestamp))
 
     def expire_graceful(self, timestamp: float) -> None:
         """Flush stale routes of peers whose restart timer has lapsed."""
-        if hasattr(self, "_graceful"):
+        if self._graceful is not None:
             self._forward(self._graceful.tick(timestamp))
 
     # -- pre-selected trace input (IGR mode) ----------------------------------------

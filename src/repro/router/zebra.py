@@ -9,6 +9,11 @@ seam, including runtime activation and deactivation from the CLI:
 - enabling SMALTA swaps the kernel table to the aggregated one via a
   snapshot delta;
 - disabling swaps it back to the exact OT (de-aggregation delta).
+
+Every download batch crosses a :class:`~repro.router.channel.
+DownloadChannel` — a straight delegation to the kernel by default, and a
+fault-injected, retrying, self-repairing transport when a
+:class:`~repro.faults.FaultPlan` is configured (docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
@@ -18,16 +23,19 @@ from typing import Iterable, Optional
 from repro.core.downloads import DownloadLog, FibDownload, diff_tables
 from repro.core.manager import SmaltaManager
 from repro.core.policy import SnapshotPolicy
+from repro.faults.plan import FaultPlan
 from repro.net.nexthop import Nexthop
 from repro.net.prefix import Prefix
 from repro.net.update import RouteUpdate
 from repro.obs.observability import Observability
+from repro.router.channel import ChannelConfig, DownloadChannel, Sleep
 from repro.router.kernel import KernelFib
+from repro.router.reconcile import Reconciler
 from repro.verify.audit import AuditConfig
 
 
 class Zebra:
-    """The daemon: owns a SmaltaManager and the kernel download socket."""
+    """The daemon: owns a SmaltaManager and the kernel download channel."""
 
     def __init__(
         self,
@@ -38,6 +46,9 @@ class Zebra:
         download_log: Optional[DownloadLog] = None,
         audit: Optional[AuditConfig] = None,
         obs: Optional[Observability] = None,
+        faults: Optional[FaultPlan] = None,
+        channel_config: Optional[ChannelConfig] = None,
+        channel_sleep: Optional[Sleep] = None,
     ) -> None:
         self.obs = obs if obs is not None else Observability()
         self.kernel = kernel if kernel is not None else KernelFib(width)
@@ -50,18 +61,36 @@ class Zebra:
             audit=audit,
             obs=self.obs,
         )
+        self.reconciler = Reconciler(
+            self.kernel, self.manager.fib_table, obs=self.obs
+        )
+        self.channel = DownloadChannel(
+            self.kernel,
+            self.reconciler,
+            config=channel_config,
+            faults=faults,
+            clock=self.obs.clock,
+            sleep=channel_sleep,
+            obs=self.obs,
+        )
         self._c_kernel_downloads = self.obs.registry.counter(
             "zebra_kernel_downloads_total", "FIB downloads pushed to the kernel"
         )
+        # Shared with SmaltaState's series: the toggle paths below count
+        # their full-table swap bursts as snapshot events too, keeping
+        # ``smalta_snapshots_total == DownloadLog.snapshot_count``.
+        self._c_snapshots = self.obs.registry.counter(
+            "smalta_snapshots_total", "snapshot(OT) passes run"
+        )
 
     def _download(self, downloads: list[FibDownload]) -> None:
-        """Push one download batch into the kernel, timed end to end."""
+        """Push one download batch down the channel, timed end to end."""
         if not downloads:
             return
         with self.obs.span(
             "zebra_kernel_apply", "latency of one kernel download batch"
         ):
-            self.kernel.apply_all(downloads)
+            self.channel.send(downloads)
         self._c_kernel_downloads.inc(len(downloads))
 
     # -- the two intercepted functions --------------------------------------
@@ -117,6 +146,23 @@ class Zebra:
     def smalta_enabled(self) -> bool:
         return self.manager.enabled
 
+    def _swap_kernel(
+        self, target: dict[Prefix, Nexthop], trigger: str
+    ) -> list[FibDownload]:
+        """Move the kernel to ``target`` and log *what actually ships*.
+
+        The toggle paths download a ``diff_tables`` delta, not the
+        snapshot burst the manager would log — so the delta itself is
+        recorded as the snapshot-class burst, keeping
+        ``DownloadLog.total`` in lock-step with the kernel's op count.
+        """
+        delta = diff_tables(self.kernel.table(), target)
+        self.manager.log.record_snapshot_burst(delta)
+        self._c_snapshots.inc()
+        self.obs.event("snapshot", trigger=trigger, burst=len(delta))
+        self._download(delta)
+        return delta
+
     def enable_smalta(self) -> list[FibDownload]:
         """Turn aggregation on: snapshot and swap the kernel to the AT."""
         if self.manager.enabled:
@@ -124,11 +170,10 @@ class Zebra:
         self.manager.enabled = True
         if self.manager.loading:
             return []
-        snapshot_burst = self.manager.snapshot_now()
-        # The kernel currently holds the OT; move it to the new AT.
-        delta = diff_tables(self.kernel.table(), self.manager.fib_table())
-        self._download(delta)
-        return delta if delta else snapshot_burst
+        # Rebuild the AT without recording the snapshot burst: the kernel
+        # holds the OT, so what ships is the OT→AT delta, logged below.
+        self.manager.snapshot_now(trigger="enable", record=False)
+        return self._swap_kernel(self.manager.fib_table(), "enable")
 
     def disable_smalta(self) -> list[FibDownload]:
         """Turn aggregation off: swap the kernel back to the exact OT."""
@@ -137,6 +182,4 @@ class Zebra:
         self.manager.enabled = False
         if self.manager.loading:
             return []
-        delta = diff_tables(self.kernel.table(), self.manager.state.ot_table())
-        self._download(delta)
-        return delta
+        return self._swap_kernel(self.manager.state.ot_table(), "disable")

@@ -1,0 +1,265 @@
+"""Fault-injection soak runner for the zebra→kernel download channel.
+
+Generates a seeded synthetic table and update trace, replays them
+through the full :class:`~repro.router.pipeline.RouterPipeline` with a
+lossy :class:`~repro.router.channel.DownloadChannel`, optionally toggles
+SMALTA mid-trace, and then *verifies* the resilience contract: the
+kernel table must exactly match zebra's desired FIB and forward
+semantically like the OT. Exit status 1 means the contract broke — the
+CI ``fault-soak`` step runs this at ≥10% rates on every push.
+
+Usage::
+
+    python -m repro.tools.faults --prefixes 300 --updates 2000 \\
+        --drop 0.15 --error 0.10 --latency 0.10 --duplicate 0.10 --seed 7
+    python -m repro.tools.faults --updates 5000 --drop 0.3 \\
+        --batch-size 50 --toggle-every 500 --format json
+
+See docs/RESILIENCE.md for the channel state machine and the metric
+catalog the report draws from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+from repro.core.equivalence import equivalence_counterexample
+from repro.core.policy import PeriodicUpdateCountPolicy, SnapshotPolicy
+from repro.faults.plan import FaultPlan, FaultRates
+from repro.net.nexthop import Nexthop
+from repro.net.update import UpdateTrace
+from repro.obs.export import render_prometheus
+from repro.obs.observability import Observability
+from repro.router.channel import ChannelConfig
+from repro.router.pipeline import RouterPipeline
+from repro.workloads.synthetic_table import TableProfile, generate_table
+from repro.workloads.synthetic_updates import generate_update_trace
+
+FORMATS = ("text", "prom", "json")
+
+
+def run_soak(
+    prefixes: int = 300,
+    updates: int = 2000,
+    width: int = 32,
+    nexthop_count: int = 8,
+    seed: int = 7,
+    rates: FaultRates = FaultRates(),
+    latency_s: float = 0.005,
+    config: ChannelConfig | None = None,
+    batch_size: int | None = None,
+    gap_s: float | None = None,
+    snapshot_every: int | None = None,
+    toggle_every: int | None = None,
+) -> tuple[RouterPipeline, list[str]]:
+    """Run one seeded soak; returns the pipeline and contract violations.
+
+    The trace is replayed in slices so that SMALTA can be toggled
+    mid-stream every ``toggle_every`` updates (exercising the
+    swap-the-kernel path under faults); the contract is checked after
+    every slice, not only at the end.
+    """
+    rng = random.Random(seed)
+    nexthops = [Nexthop(i, f"nh{i}") for i in range(nexthop_count)]
+    table = generate_table(
+        prefixes, nexthops, rng, profile=TableProfile(width=width)
+    )
+    trace = generate_update_trace(table, updates, nexthops, rng)
+    plan = FaultPlan(rates, seed=seed, latency_s=latency_s)
+    policy: SnapshotPolicy | None = (
+        PeriodicUpdateCountPolicy(snapshot_every)
+        if snapshot_every is not None
+        else None
+    )
+    pipeline = RouterPipeline(
+        width=width,
+        policy=policy,
+        obs=Observability(),
+        faults=plan,
+        channel_config=config,
+    )
+    pipeline.load_table(table)
+    pipeline.end_of_rib()
+
+    all_updates = list(trace)
+    slice_size = toggle_every if toggle_every else max(1, len(all_updates))
+    violations: list[str] = []
+    enabled = True
+    for start in range(0, len(all_updates), slice_size):
+        chunk = UpdateTrace(
+            updates=all_updates[start : start + slice_size], name=trace.name
+        )
+        pipeline.run_trace(chunk, batch_size=batch_size, burst_gap_s=gap_s)
+        pipeline.zebra.channel.flush()
+        violations.extend(_check_contract(pipeline, at=start + len(chunk)))
+        if toggle_every:
+            if enabled:
+                pipeline.zebra.disable_smalta()
+            else:
+                pipeline.zebra.enable_smalta()
+            enabled = not enabled
+            violations.extend(
+                _check_contract(pipeline, at=start + len(chunk))
+            )
+    return pipeline, violations
+
+
+def _check_contract(pipeline: RouterPipeline, at: int) -> list[str]:
+    """The resilience contract at a convergence point."""
+    zebra = pipeline.zebra
+    problems: list[str] = []
+    if zebra.kernel.table() != zebra.manager.fib_table():
+        problems.append(
+            f"update {at}: kernel table != desired FIB "
+            f"({len(zebra.kernel)} vs {len(zebra.manager.fib_table())} entries)"
+        )
+    counterexample = equivalence_counterexample(
+        zebra.manager.state.ot_table(), zebra.kernel.table(), zebra.kernel.width
+    )
+    if counterexample is not None:
+        problems.append(f"update {at}: forwarding drift at {counterexample}")
+    return problems
+
+
+def render_report(pipeline: RouterPipeline, violations: list[str]) -> str:
+    """Operator summary of one soak run."""
+    zebra = pipeline.zebra
+    channel = zebra.channel
+    plan = channel.faults
+    lines = [
+        "fault soak report",
+        "=================",
+        f"updates processed:      {pipeline.stats.updates_processed}",
+        f"fib downloads logged:   {pipeline.download_log.total}",
+        f"kernel operations:      {zebra.kernel.operations}",
+        f"kernel entries:         {len(zebra.kernel)}",
+        "",
+        "channel",
+        "-------",
+        f"ops delivered:          {channel.ops_sent}",
+        f"retries:                {channel.retries}",
+        f"ops abandoned:          {channel.failed_ops}",
+        f"full-sync reconciles:   {channel.resyncs}",
+        f"drift ops repaired:     {zebra.reconciler.repaired_ops}",
+    ]
+    if plan is not None:
+        lines += [
+            "",
+            "faults injected",
+            "---------------",
+        ]
+        lines += [
+            f"{kind + ':':<24}{count}" for kind, count in plan.summary().items()
+        ]
+    lines += ["", "contract", "--------"]
+    if violations:
+        lines += [f"VIOLATION  {violation}" for violation in violations]
+    else:
+        lines.append("OK  kernel ≡ FIB ≡ OT at every convergence point")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Soak the resilient download channel under seeded faults."
+    )
+    parser.add_argument("--prefixes", type=int, default=300)
+    parser.add_argument("--updates", type=int, default=2000)
+    parser.add_argument("--width", type=int, default=32)
+    parser.add_argument("--nexthops", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--drop", type=float, default=0.0, help="drop rate")
+    parser.add_argument("--error", type=float, default=0.0, help="error rate")
+    parser.add_argument(
+        "--latency", type=float, default=0.0, help="latency-fault rate"
+    )
+    parser.add_argument(
+        "--duplicate", type=float, default=0.0, help="duplicate rate"
+    )
+    parser.add_argument(
+        "--latency-s", type=float, default=0.005, help="max injected delay (s)"
+    )
+    parser.add_argument("--max-attempts", type=int, default=6)
+    parser.add_argument("--max-pending", type=int, default=1024)
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="burst size cap"
+    )
+    parser.add_argument(
+        "--gap", type=float, default=None, help="burst gap threshold (s)"
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N"
+    )
+    parser.add_argument(
+        "--toggle-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="toggle SMALTA on/off every N updates (swap-path soak)",
+    )
+    parser.add_argument("--format", choices=FORMATS, default="text")
+    parser.add_argument("-o", "--output", metavar="FILE")
+    args = parser.parse_args(argv)
+
+    rates = FaultRates(
+        drop=args.drop,
+        error=args.error,
+        latency=args.latency,
+        duplicate=args.duplicate,
+    )
+    config = ChannelConfig(
+        max_attempts=args.max_attempts, max_pending=args.max_pending
+    )
+    pipeline, violations = run_soak(
+        prefixes=args.prefixes,
+        updates=args.updates,
+        width=args.width,
+        nexthop_count=args.nexthops,
+        seed=args.seed,
+        rates=rates,
+        latency_s=args.latency_s,
+        config=config,
+        batch_size=args.batch_size,
+        gap_s=args.gap,
+        snapshot_every=args.snapshot_every,
+        toggle_every=args.toggle_every,
+    )
+
+    if args.format == "prom":
+        rendered = render_prometheus(pipeline.obs.registry)
+    elif args.format == "json":
+        rendered = json.dumps(
+            {
+                "channel": pipeline.zebra.channel.status(),
+                "faults": (
+                    pipeline.zebra.channel.faults.summary()
+                    if pipeline.zebra.channel.faults is not None
+                    else {}
+                ),
+                "resyncs": pipeline.zebra.reconciler.syncs,
+                "repaired_ops": pipeline.zebra.reconciler.repaired_ops,
+                "violations": violations,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    else:
+        rendered = render_report(pipeline, violations)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(rendered)
+    if violations:
+        print(f"{len(violations)} contract violations", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,6 +74,7 @@ ANNOTATED_PACKAGES = (
     "bgp",
     "workloads",
     "obs",
+    "faults",
 )
 
 

@@ -76,3 +76,98 @@ class TestDownloadLog:
 
     def test_mean_burst_empty(self):
         assert DownloadLog().mean_snapshot_burst == 0.0
+
+
+class TestDiffTablesOrdering:
+    """The delta must be transiently correct when applied op by op."""
+
+    def test_adds_then_changes_then_removes(self):
+        old = {bp("00"): NH[0], bp("01"): NH[1], bp("1"): NH[2]}
+        new = {bp("01"): NH[2], bp("1"): NH[2], bp("11"): NH[0]}
+        downloads = diff_tables(old, new)
+        kinds = [d.kind for d in downloads]
+        assert kinds == [
+            DownloadKind.INSERT,  # add 11
+            DownloadKind.DELETE,  # change 01 ...
+            DownloadKind.INSERT,  # ... adjacent re-insert
+            DownloadKind.DELETE,  # pure delete 00, last
+        ]
+        assert downloads[0].prefix == bp("11")
+        assert downloads[1].prefix == bp("01") == downloads[2].prefix
+        assert downloads[3].prefix == bp("00")
+
+    def test_changed_pair_stays_adjacent(self):
+        downloads = diff_tables(
+            {bp("0"): NH[0], bp("1"): NH[1]},
+            {bp("0"): NH[1], bp("1"): NH[0]},
+        )
+        assert [d.kind for d in downloads] == [
+            DownloadKind.DELETE,
+            DownloadKind.INSERT,
+            DownloadKind.DELETE,
+            DownloadKind.INSERT,
+        ]
+        assert downloads[0].prefix == downloads[1].prefix
+        assert downloads[2].prefix == downloads[3].prefix
+
+    def test_deaggregation_never_blackholes_mid_delta(self):
+        # Swap a covering aggregate for its two more-specifics: the
+        # aggregate must not be withdrawn before its replacements exist.
+        from repro.net.nexthop import DROP
+        from repro.router.kernel import KernelFib
+
+        old = {bp("1"): NH[0]}
+        new = {bp("10"): NH[0], bp("11"): NH[1]}
+        kernel = KernelFib(width=8)
+        for prefix, nexthop in old.items():
+            kernel.apply(FibDownload.insert(prefix, nexthop))
+        for op in diff_tables(old, new):
+            kernel.apply(op)
+            for address in range(128, 256):  # covered by both tables
+                assert kernel.lookup(address) is not DROP
+        assert kernel.table() == new
+
+    def test_random_add_remove_deltas_transiently_routed(self):
+        # Property form: for add/remove-only deltas, any address routed
+        # in BOTH endpoint tables stays routed after every single op.
+        import random
+
+        from repro.net.nexthop import DROP
+        from repro.router.kernel import KernelFib
+
+        rng = random.Random(20110712)
+        width = 6
+        for _ in range(25):
+            universe = [
+                Prefix.from_bits(
+                    format(rng.getrandbits(length), f"0{length}b"), width=width
+                )
+                for length in rng.choices(range(1, width + 1), k=12)
+            ]
+            old = {p: NH[0] for p in rng.sample(universe, 6)}
+            # Add/remove only: surviving prefixes keep their nexthop.
+            new = {p: old.get(p, NH[1]) for p in rng.sample(universe, 6)}
+            kernel = KernelFib(width=width)
+            for prefix, nexthop in old.items():
+                kernel.apply(FibDownload.insert(prefix, nexthop))
+            routed_in_both = [
+                address
+                for address in range(1 << width)
+                if _lookup(old, address) is not DROP
+                and _lookup(new, address) is not DROP
+            ]
+            for op in diff_tables(old, new):
+                kernel.apply(op)
+                for address in routed_in_both:
+                    assert kernel.lookup(address) is not DROP
+            assert kernel.table() == new
+
+
+def _lookup(table, address):
+    from repro.net.nexthop import DROP
+
+    best, best_length = DROP, -1
+    for prefix, nexthop in table.items():
+        if prefix.length > best_length and prefix.contains_address(address):
+            best, best_length = nexthop, prefix.length
+    return best

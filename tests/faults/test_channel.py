@@ -1,0 +1,227 @@
+"""DownloadChannel: fast path, retries, backoff schedule, escalation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.downloads import FibDownload
+from repro.faults import FaultPlan, FaultRates, VirtualClock
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.obs.observability import Observability
+from repro.router.channel import ChannelConfig, ChannelState, DownloadChannel
+from repro.router.kernel import KernelFib
+from repro.router.reconcile import Reconciler
+
+from tests.conftest import make_nexthops
+
+NH = make_nexthops(4)
+
+
+def bp(bits: str) -> Prefix:
+    return Prefix.from_bits(bits, width=8)
+
+
+class Harness:
+    """A channel wired to a kernel and a mutable desired table."""
+
+    def __init__(
+        self,
+        faults: FaultPlan | None = None,
+        config: ChannelConfig | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        self.kernel = KernelFib(width=8)
+        self.desired: dict[Prefix, Nexthop] = {}
+        self.clock = VirtualClock()
+        self.obs = obs if obs is not None else Observability.null()
+        self.reconciler = Reconciler(
+            self.kernel, lambda: dict(self.desired), obs=self.obs
+        )
+        self.channel = DownloadChannel(
+            self.kernel,
+            self.reconciler,
+            config=config,
+            faults=faults,
+            clock=self.clock,
+            sleep=self.clock.sleep,
+            obs=self.obs,
+        )
+
+    def send_insert(self, bits: str, nexthop: Nexthop) -> None:
+        """Update the desired table and push the matching download."""
+        prefix = bp(bits)
+        self.desired[prefix] = nexthop
+        self.channel.send([FibDownload.insert(prefix, nexthop)])
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(max_attempts=0)
+        with pytest.raises(ValueError):
+            ChannelConfig(max_pending=0)
+        with pytest.raises(ValueError):
+            ChannelConfig(jitter=1.5)
+
+    def test_backoff_schedule_doubles_and_caps(self):
+        config = ChannelConfig(
+            backoff_base_s=0.001, backoff_cap_s=0.004, jitter=0.0
+        )
+        waits = [config.backoff_s(i) for i in range(5)]
+        assert waits == pytest.approx([0.001, 0.002, 0.004, 0.004, 0.004])
+
+    def test_jitter_bounds(self):
+        config = ChannelConfig(backoff_base_s=0.001, jitter=0.2)
+        assert config.backoff_s(0, fraction=0.0) == pytest.approx(0.0008)
+        assert config.backoff_s(0, fraction=0.5) == pytest.approx(0.001)
+        assert config.backoff_s(0, fraction=1.0) == pytest.approx(0.0012)
+
+
+class TestFastPath:
+    def test_no_faults_is_byte_identical_to_apply_all(self):
+        harness = Harness()
+        ops = [
+            FibDownload.insert(bp("1"), NH[0]),
+            FibDownload.insert(bp("01"), NH[1]),
+            FibDownload.delete(bp("1")),
+        ]
+        shadow = KernelFib(width=8)
+        shadow.apply_all(ops)
+        harness.channel.send(list(ops))
+        assert harness.kernel.table() == shadow.table()
+        assert harness.kernel.operations == shadow.operations
+        assert harness.channel.ops_sent == 3
+        assert harness.channel.retries == 0
+        assert harness.channel.state is ChannelState.HEALTHY
+        assert harness.clock.sleeps == []
+
+    def test_empty_batch_is_a_noop(self):
+        harness = Harness()
+        harness.channel.send([])
+        assert harness.channel.ops_sent == 0
+
+
+class TestRetries:
+    def test_exhausted_retries_follow_backoff_schedule(self):
+        plan = FaultPlan(FaultRates(error=1.0), seed=0)
+        config = ChannelConfig(
+            max_attempts=4, backoff_base_s=0.001, backoff_cap_s=1.0, jitter=0.0
+        )
+        harness = Harness(faults=plan, config=config)
+        delivered = harness.channel._deliver(FibDownload.insert(bp("1"), NH[0]))
+        assert not delivered
+        # Three retries after the first attempt: base, 2*base, 4*base.
+        assert harness.clock.sleeps == pytest.approx([0.001, 0.002, 0.004])
+        assert harness.channel.retries == 3
+        assert harness.channel.failed_ops == 1
+
+    def test_drop_charges_ack_timeout_before_each_retry(self):
+        plan = FaultPlan(FaultRates(drop=1.0), seed=0)
+        config = ChannelConfig(
+            max_attempts=2,
+            backoff_base_s=0.001,
+            ack_timeout_s=0.010,
+            jitter=0.0,
+        )
+        harness = Harness(faults=plan, config=config)
+        assert not harness.channel._deliver(FibDownload.insert(bp("1"), NH[0]))
+        # attempt 0: drop -> ack timeout; retry: backoff, drop, timeout.
+        assert harness.clock.sleeps == pytest.approx([0.010, 0.001, 0.010])
+
+    def test_latency_fault_delays_but_delivers(self):
+        plan = FaultPlan(FaultRates(latency=1.0), seed=1, latency_s=0.005)
+        harness = Harness(faults=plan)
+        harness.send_insert("1", NH[0])
+        assert harness.kernel.table() == harness.desired
+        assert len(harness.clock.sleeps) == 1
+        assert 0.0 <= harness.clock.sleeps[0] <= 0.005
+        assert harness.channel.retries == 0
+
+    def test_duplicate_fault_applies_twice(self):
+        plan = FaultPlan(FaultRates(duplicate=1.0), seed=2)
+        harness = Harness(faults=plan)
+        harness.send_insert("1", NH[0])
+        assert harness.kernel.installs == 2  # idempotent insert, seen twice
+        assert harness.kernel.table() == harness.desired
+        # A duplicated delete surfaces as the kernel's ESRCH counter.
+        prefix = bp("1")
+        del harness.desired[prefix]
+        harness.channel.send([FibDownload.delete(prefix)])
+        assert harness.kernel.failed_uninstalls == 1
+        assert harness.kernel.table() == {}
+
+
+class TestEscalation:
+    def test_retries_exhausted_triggers_full_sync(self):
+        plan = FaultPlan(FaultRates(error=1.0), seed=0)
+        config = ChannelConfig(max_attempts=3, jitter=0.0)
+        obs = Observability(clock=VirtualClock())
+        harness = Harness(faults=plan, config=config, obs=obs)
+        harness.send_insert("1", NH[0])
+        # Per-op delivery can never succeed, but the sync repaired it.
+        assert harness.kernel.table() == harness.desired
+        assert harness.channel.resyncs == 1
+        assert harness.channel.failed_ops == 1
+        assert harness.channel.pending == 0
+        assert harness.channel.state is ChannelState.HEALTHY
+        assert obs.registry.value(
+            "channel_resync_triggers_total", {"trigger": "retries_exhausted"}
+        ) == 1.0
+
+    def test_queue_overflow_triggers_full_sync(self):
+        plan = FaultPlan(FaultRates(drop=1.0), seed=0)
+        config = ChannelConfig(max_pending=4, max_attempts=1, jitter=0.0)
+        obs = Observability(clock=VirtualClock())
+        harness = Harness(faults=plan, config=config, obs=obs)
+        batch = []
+        for i in range(8):
+            prefix = bp(format(i, "03b"))
+            harness.desired[prefix] = NH[i % 4]
+            batch.append(FibDownload.insert(prefix, NH[i % 4]))
+        harness.channel.send(batch)
+        assert harness.kernel.table() == harness.desired
+        assert harness.channel.resyncs >= 1
+        assert obs.registry.value(
+            "channel_resync_triggers_total", {"trigger": "queue_overflow"}
+        ) >= 1.0
+
+    def test_manual_resync(self):
+        harness = Harness()
+        harness.desired[bp("1")] = NH[0]  # drift: never sent
+        harness.channel.resync()
+        assert harness.kernel.table() == harness.desired
+        assert harness.channel.resyncs == 1
+        assert harness.reconciler.repaired_ops == 1
+
+    def test_status_readout(self):
+        plan = FaultPlan(FaultRates(error=1.0), seed=0)
+        config = ChannelConfig(max_attempts=2, jitter=0.0)
+        harness = Harness(faults=plan, config=config)
+        harness.send_insert("1", NH[0])
+        status = harness.channel.status()
+        assert status["resyncs"] == 1
+        assert status["failed_ops"] == 1
+        assert status["pending"] == 0
+        assert status["faults_injected"] == plan.injected
+
+
+class TestConvergenceUnderMixedFaults:
+    def test_every_send_is_a_convergence_point(self):
+        plan = FaultPlan(
+            FaultRates(drop=0.25, error=0.2, latency=0.15, duplicate=0.15),
+            seed=11,
+        )
+        config = ChannelConfig(max_attempts=2, jitter=0.0)
+        harness = Harness(faults=plan, config=config)
+        for i in range(200):
+            bits = format(i % 32, "05b")
+            if i % 7 == 3 and bp(bits) in harness.desired:
+                prefix = bp(bits)
+                del harness.desired[prefix]
+                harness.channel.send([FibDownload.delete(prefix)])
+            else:
+                harness.send_insert(bits, NH[i % 4])
+            assert harness.kernel.table() == harness.desired
+        assert plan.injected > 0
+        assert harness.channel.resyncs > 0

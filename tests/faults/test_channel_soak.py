@@ -1,0 +1,143 @@
+"""Stateful soak: kernel ≡ FIB ≡ OT at every convergence point, any plan.
+
+Unlike the fixed-profile lossy machine in ``tests/obs``, this machine
+lets hypothesis pick the fault plan itself (rates *and* seed) and a
+deliberately tiny retry/queue budget, then interleaves updates, batches,
+snapshots, SMALTA toggles, and manual resyncs. The resilience contract
+(docs/RESILIENCE.md) says every ``send()`` return is a convergence
+point, so after *every* rule:
+
+- the kernel table equals zebra's desired FIB exactly, and
+- the kernel forwards semantically like the reference model (the OT).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.equivalence import equivalence_counterexample
+from repro.faults import FaultPlan, FaultRates
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate
+from repro.router.channel import ChannelConfig
+from repro.router.zebra import Zebra
+
+from tests.conftest import make_nexthops
+
+WIDTH = 5
+NEXTHOPS = make_nexthops(3)
+
+prefix_strategy = st.builds(
+    lambda length, bits: Prefix(
+        (bits & ((1 << length) - 1)) << (WIDTH - length), length, WIDTH
+    ),
+    st.integers(min_value=1, max_value=WIDTH),
+    st.integers(min_value=0, max_value=(1 << WIDTH) - 1),
+)
+update_strategy = st.one_of(
+    st.builds(RouteUpdate.announce, prefix_strategy, st.sampled_from(NEXTHOPS)),
+    st.builds(RouteUpdate.withdraw, prefix_strategy),
+)
+rate_strategy = st.floats(min_value=0.0, max_value=0.24)
+
+
+class FaultedChannelMachine(RuleBasedStateMachine):
+    """Reference model: a dict. SUT: Zebra over a hypothesis-chosen plan."""
+
+    @initialize(
+        drop=rate_strategy,
+        error=rate_strategy,
+        latency=rate_strategy,
+        duplicate=rate_strategy,
+        seed=st.integers(min_value=0, max_value=2**16),
+        max_attempts=st.integers(min_value=1, max_value=4),
+        max_pending=st.integers(min_value=1, max_value=16),
+    )
+    def setup(
+        self,
+        drop: float,
+        error: float,
+        latency: float,
+        duplicate: float,
+        seed: int,
+        max_attempts: int,
+        max_pending: int,
+    ) -> None:
+        plan = FaultPlan(
+            FaultRates(
+                drop=drop, error=error, latency=latency, duplicate=duplicate
+            ),
+            seed=seed,
+            latency_s=0.001,
+        )
+        self.zebra = Zebra(
+            width=WIDTH,
+            faults=plan,
+            channel_config=ChannelConfig(
+                max_attempts=max_attempts, max_pending=max_pending, jitter=0.0
+            ),
+        )
+        self.zebra.end_of_rib()
+        self.model: dict[Prefix, Nexthop] = {}
+
+    def _model_apply(self, update: RouteUpdate) -> None:
+        if update.is_announce:
+            assert update.nexthop is not None
+            self.model[update.prefix] = update.nexthop
+        else:
+            self.model.pop(update.prefix, None)
+
+    @rule(update=update_strategy)
+    def single_update(self, update: RouteUpdate) -> None:
+        self.zebra.apply_update(update)
+        self._model_apply(update)
+
+    @rule(updates=st.lists(update_strategy, min_size=1, max_size=8))
+    def batch(self, updates: list[RouteUpdate]) -> None:
+        self.zebra.apply_batch(updates)
+        for update in updates:
+            self._model_apply(update)
+
+    @rule()
+    def forced_snapshot(self) -> None:
+        self.zebra.snapshot_now()
+
+    @rule()
+    def toggle_smalta(self) -> None:
+        if self.zebra.smalta_enabled:
+            self.zebra.disable_smalta()
+        else:
+            self.zebra.enable_smalta()
+
+    @rule()
+    def manual_resync(self) -> None:
+        self.zebra.channel.resync()
+
+    # -- the resilience contract ------------------------------------------
+
+    @invariant()
+    def kernel_matches_desired_fib(self) -> None:
+        assert self.zebra.kernel.table() == self.zebra.manager.fib_table()
+        assert self.zebra.channel.pending == 0
+
+    @invariant()
+    def kernel_forwards_like_the_model(self) -> None:
+        assert self.zebra.manager.state.ot_table() == self.model
+        counterexample = equivalence_counterexample(
+            self.model, self.zebra.kernel.table(), WIDTH
+        )
+        assert counterexample is None, counterexample
+
+
+TestFaultedChannelMachine = FaultedChannelMachine.TestCase
+TestFaultedChannelMachine.settings = settings(
+    max_examples=60, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,93 @@
+"""FaultPlan determinism, rate validation, and the virtual clock."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faults import FaultKind, FaultPlan, FaultRates, VirtualClock
+
+
+class TestFaultRates:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultRates(drop=-0.1)
+        with pytest.raises(ValueError):
+            FaultRates(drop=1.2)
+        with pytest.raises(ValueError):
+            FaultRates(drop=0.5, error=0.3, latency=0.2, duplicate=0.1)
+
+    def test_thresholds_cumulative(self):
+        rates = FaultRates(drop=0.1, error=0.2, latency=0.3, duplicate=0.1)
+        assert rates.thresholds() == pytest.approx((0.1, 0.3, 0.6, 0.7))
+        assert rates.total == pytest.approx(0.7)
+
+
+class TestFaultPlan:
+    def test_lossless_plan_always_delivers(self):
+        plan = FaultPlan.lossless(seed=42)
+        decisions = [plan.decide() for _ in range(200)]
+        assert all(d.kind is FaultKind.DELIVER for d in decisions)
+        assert plan.injected == 0
+        assert plan.decisions == 200
+
+    def test_all_drop(self):
+        plan = FaultPlan(FaultRates(drop=1.0), seed=1)
+        assert all(plan.decide().kind is FaultKind.DROP for _ in range(50))
+        assert plan.counts[FaultKind.DROP] == 50
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_same_seed_same_decisions(self, seed: int):
+        rates = FaultRates(drop=0.2, error=0.2, latency=0.2, duplicate=0.2)
+        a = FaultPlan(rates, seed=seed)
+        b = FaultPlan(rates, seed=seed)
+        sequence_a = [a.decide() for _ in range(100)]
+        sequence_b = [b.decide() for _ in range(100)]
+        assert sequence_a == sequence_b
+        assert a.counts == b.counts
+
+    def test_different_seeds_diverge(self):
+        rates = FaultRates(drop=0.25, error=0.25, latency=0.25, duplicate=0.20)
+        a = [FaultPlan(rates, seed=0).decide() for _ in range(64)]
+        b = [FaultPlan(rates, seed=1).decide() for _ in range(64)]
+        assert a != b
+
+    def test_latency_decisions_carry_bounded_delay(self):
+        plan = FaultPlan(FaultRates(latency=1.0), seed=3, latency_s=0.01)
+        for _ in range(100):
+            decision = plan.decide()
+            assert decision.kind is FaultKind.LATENCY
+            assert 0.0 <= decision.delay_s <= 0.01
+            assert decision.delivered
+
+    def test_drop_and_error_not_delivered(self):
+        assert not FaultPlan(FaultRates(drop=1.0)).decide().delivered
+        assert not FaultPlan(FaultRates(error=1.0)).decide().delivered
+
+    def test_summary_counts_every_decision(self):
+        plan = FaultPlan.uniform(0.1, seed=9)
+        for _ in range(500):
+            plan.decide()
+        summary = plan.summary()
+        assert sum(summary.values()) == 500
+        # At 10% per kind, every kind should have fired at least once.
+        for kind in ("drop", "error", "latency", "duplicate", "deliver"):
+            assert summary[kind] > 0
+
+
+class TestVirtualClock:
+    def test_clock_is_callable_and_advances(self):
+        clock = VirtualClock(start=5.0)
+        assert clock() == 5.0
+        clock.advance(1.5)
+        assert clock.now() == 6.5
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_sleep_records_and_advances(self):
+        clock = VirtualClock()
+        clock.sleep(0.25)
+        clock.sleep(0.5)
+        assert clock.sleeps == [0.25, 0.5]
+        assert clock() == 0.75

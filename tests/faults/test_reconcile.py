@@ -1,0 +1,65 @@
+"""Full-sync reconciliation: drift detection, repair, and reporting."""
+
+from __future__ import annotations
+
+from repro.core.downloads import DownloadKind, FibDownload
+from repro.faults import VirtualClock
+from repro.net.prefix import Prefix
+from repro.obs.observability import Observability
+from repro.router.kernel import KernelFib
+from repro.router.reconcile import Reconciler
+
+from tests.conftest import make_nexthops
+
+NH = make_nexthops(4)
+
+
+def bp(bits: str) -> Prefix:
+    return Prefix.from_bits(bits, width=8)
+
+
+def make_reconciler(desired: dict, obs: Observability | None = None):
+    kernel = KernelFib(width=8)
+    reconciler = Reconciler(kernel, lambda: dict(desired), obs=obs)
+    return kernel, reconciler
+
+
+class TestReconciler:
+    def test_clean_sync_is_a_noop(self):
+        desired = {bp("1"): NH[0]}
+        kernel, reconciler = make_reconciler(desired)
+        kernel.apply(FibDownload.insert(bp("1"), NH[0]))
+        report = reconciler.sync()
+        assert report.clean
+        assert report.drift == 0 and report.kernel_size == 1
+        assert reconciler.repaired_ops == 0 and reconciler.syncs == 1
+
+    def test_sync_repairs_missing_stale_and_changed(self):
+        desired = {bp("1"): NH[0], bp("01"): NH[1]}
+        kernel, reconciler = make_reconciler(desired)
+        # Kernel drifted three ways: stale entry, changed nexthop, missing.
+        kernel.apply(FibDownload.insert(bp("00"), NH[2]))  # stale
+        kernel.apply(FibDownload.insert(bp("1"), NH[3]))  # wrong nexthop
+        drift = reconciler.drift()
+        assert len(drift) == 4  # delete+insert for "1", insert "01", delete "00"
+        report = reconciler.sync(trigger="retries_exhausted")
+        assert not report.clean
+        assert report.drift == 4
+        assert report.inserts == 2 and report.deletes == 2
+        assert kernel.table() == desired
+        assert reconciler.repaired_ops == 4
+        # A second sync finds nothing left to repair.
+        assert reconciler.sync().clean
+
+    def test_sync_emits_metrics_and_event(self):
+        obs = Observability(clock=VirtualClock())
+        desired = {bp("1"): NH[0]}
+        kernel, reconciler = make_reconciler(desired, obs=obs)
+        reconciler.sync(trigger="queue_overflow")
+        registry = obs.registry
+        assert registry.value("channel_resyncs_total") == 1.0
+        assert registry.value("channel_resync_repairs_total") == 1.0
+        events = [e for e in obs.events.tail() if e.kind == "resync"]
+        assert len(events) == 1
+        assert events[0]["trigger"] == "queue_overflow"
+        assert events[0]["drift"] == 1

@@ -14,6 +14,13 @@ must stay identical forever:
 3. the aggregated state vs the reference model (the paper's semantic
    equivalence, so the observability pass cannot have perturbed
    forwarding).
+
+:class:`LossyChannelMachine` reruns the same machine with a fault-
+injected :class:`~repro.router.channel.DownloadChannel` (drops, errors,
+latency, duplicates; tight retry budget so escalation fires): because
+``send()`` is synchronous — every batch either delivers or is repaired
+by a full sync before it returns — every invariant above must hold
+*unchanged* on a lossy channel.
 """
 
 from __future__ import annotations
@@ -29,9 +36,11 @@ from hypothesis.stateful import (
 
 from repro.core.downloads import DownloadKind, FibDownload
 from repro.core.equivalence import equivalence_counterexample
+from repro.faults import FaultPlan, FaultRates
 from repro.net.nexthop import Nexthop
 from repro.net.prefix import Prefix
 from repro.net.update import RouteUpdate
+from repro.router.channel import ChannelConfig
 from repro.router.zebra import Zebra
 
 from tests.conftest import make_nexthops
@@ -67,9 +76,12 @@ def replay_downloads(
 class ObservedRouterMachine(RuleBasedStateMachine):
     """Reference model: a dict. System under test: Zebra + its registry."""
 
+    def _make_zebra(self) -> Zebra:
+        return Zebra(width=WIDTH)
+
     @initialize()
     def setup(self) -> None:
-        self.zebra = Zebra(width=WIDTH)
+        self.zebra = self._make_zebra()
         self.zebra.end_of_rib()  # empty initial table; leaves loading mode
         self.model: dict[Prefix, Nexthop] = {}
         self.shadow_fib: dict[Prefix, Nexthop] = {}
@@ -103,6 +115,15 @@ class ObservedRouterMachine(RuleBasedStateMachine):
     @rule()
     def forced_snapshot(self) -> None:
         self._absorb(self.zebra.snapshot_now())
+
+    @rule()
+    def toggle_smalta(self) -> None:
+        # The swap delta is logged as a snapshot-class burst, so every
+        # registry ≡ log ≡ kernel invariant below must survive a toggle.
+        if self.zebra.smalta_enabled:
+            self._absorb(self.zebra.disable_smalta())
+        else:
+            self._absorb(self.zebra.enable_smalta())
 
     # -- the cross-layer consistency invariants --------------------------
 
@@ -161,7 +182,33 @@ class ObservedRouterMachine(RuleBasedStateMachine):
         )
 
 
+class LossyChannelMachine(ObservedRouterMachine):
+    """The same machine, but every download crosses a faulty channel."""
+
+    def _make_zebra(self) -> Zebra:
+        return Zebra(
+            width=WIDTH,
+            faults=FaultPlan(
+                FaultRates(drop=0.2, error=0.15, latency=0.1, duplicate=0.15),
+                seed=20110712,
+            ),
+            channel_config=ChannelConfig(
+                max_attempts=2, max_pending=8, jitter=0.0
+            ),
+        )
+
+    @invariant()
+    def channel_converged(self) -> None:
+        # Synchronous sends: between rules the channel is always drained.
+        assert self.zebra.channel.pending == 0
+
+
 TestObservedRouterMachine = ObservedRouterMachine.TestCase
 TestObservedRouterMachine.settings = settings(
     max_examples=80, stateful_step_count=30, deadline=None
+)
+
+TestLossyChannelMachine = LossyChannelMachine.TestCase
+TestLossyChannelMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
 )

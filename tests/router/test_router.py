@@ -320,3 +320,97 @@ class TestPipelineBatched:
         pipeline, stats = self.run_pipeline(table, trace, batch_size=32)
         assert stats.updates_processed == len(trace)
         assert pipeline.kernel_matches_rib()
+
+
+class TestToggleAccounting:
+    """The download log must record what the toggle paths actually ship."""
+
+    def make_mid_trace_zebra(self) -> Zebra:
+        zebra = Zebra(width=8, smalta_enabled=True)
+        zebra.rib_install_kernel(bp("10"), A)
+        zebra.rib_install_kernel(bp("11"), A)
+        zebra.rib_install_kernel(bp("0"), B)
+        zebra.end_of_rib()
+        zebra.rib_install_kernel(bp("010"), A)
+        zebra.rib_uninstall_kernel(bp("11"))
+        return zebra
+
+    def test_log_total_tracks_kernel_operations_across_toggles(self):
+        zebra = self.make_mid_trace_zebra()
+        for toggle in (zebra.disable_smalta, zebra.enable_smalta):
+            log_before = zebra.manager.log.total
+            ops_before = zebra.kernel.operations
+            delta = toggle()
+            # What was logged is exactly what crossed the download arrow.
+            assert zebra.manager.log.total - log_before == len(delta)
+            assert zebra.kernel.operations - ops_before == len(delta)
+
+    def test_toggle_delta_is_the_diff_not_the_snapshot_burst(self):
+        zebra = self.make_mid_trace_zebra()
+        before = zebra.kernel.table()
+        delta = zebra.disable_smalta()
+        # Replaying the returned delta over the old kernel table must
+        # reconstruct the new one (i.e. the delta is self-describing).
+        replay = dict(before)
+        for op in delta:
+            if op.nexthop is not None:
+                replay[op.prefix] = op.nexthop
+            else:
+                replay.pop(op.prefix, None)
+        assert replay == zebra.kernel.table()
+        assert zebra.kernel.table() == zebra.manager.state.ot_table()
+
+    def test_toggle_bursts_counted_as_snapshots(self):
+        zebra = self.make_mid_trace_zebra()
+        registry = zebra.obs.registry
+        count_before = zebra.manager.log.snapshot_count
+        zebra.disable_smalta()
+        zebra.enable_smalta()
+        assert zebra.manager.log.snapshot_count == count_before + 2
+        assert registry.value("smalta_snapshots_total") == (
+            zebra.manager.log.snapshot_count
+        )
+        assert zebra.obs.events.counts().get("snapshot", 0) == (
+            zebra.manager.log.snapshot_count
+        )
+
+
+class TestKernelSizeGauge:
+    def test_apply_refreshes_the_gauge(self):
+        zebra = Zebra(width=8)
+        registry = zebra.obs.registry
+        # Direct per-op applies (the channel's delivery path) must keep
+        # the scraped size fresh without an apply_all wrapper.
+        zebra.kernel.apply(FibDownload.insert(bp("10"), A))
+        assert registry.value("kernel_fib_size") == 1.0
+        zebra.kernel.apply(FibDownload.insert(bp("11"), B))
+        assert registry.value("kernel_fib_size") == 2.0
+        zebra.kernel.apply(FibDownload.delete(bp("10")))
+        assert registry.value("kernel_fib_size") == 1.0
+
+
+class TestChannelCli:
+    def make_cli(self) -> RouterCli:
+        zebra = Zebra(width=8, smalta_enabled=True)
+        zebra.rib_install_kernel(bp("10"), A)
+        zebra.end_of_rib()
+        return RouterCli(zebra)
+
+    def test_channel_status(self):
+        cli = self.make_cli()
+        output = cli.execute("show channel status")
+        assert "download channel: healthy" in output
+        assert "none (reliable)" in output
+        assert "full-sync reconciles:    0" in output
+
+    def test_channel_resync(self):
+        cli = self.make_cli()
+        output = cli.execute("channel resync")
+        assert "full sync" in output
+        assert cli.zebra.channel.resyncs == 1
+        assert cli.zebra.kernel.table() == cli.zebra.manager.fib_table()
+
+    def test_help_lists_channel_commands(self):
+        output = self.make_cli().execute("help")
+        assert "show channel status" in output
+        assert "channel resync" in output
