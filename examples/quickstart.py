@@ -49,9 +49,13 @@ def main() -> None:
     print(f"entries: OT={manager.ot_size}, AT={manager.at_size}")
 
     # --- withdraw and re-optimize ------------------------------------------
-    manager.apply(RouteUpdate.withdraw(target))
-    manager.snapshot_now()
-    show("\nAggregated table after withdraw + snapshot", manager.fib_table())
+    withdraw_downloads = manager.apply(RouteUpdate.withdraw(target))
+    burst = manager.snapshot_now()
+    print(
+        f"\nwithdraw emitted {len(withdraw_downloads)} download(s); "
+        f"re-optimization burst: {len(burst)} download(s)"
+    )
+    show("Aggregated table after withdraw + snapshot", manager.fib_table())
     print(f"total FIB downloads so far: {manager.log.total}")
 
 

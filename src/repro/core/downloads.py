@@ -22,6 +22,7 @@ from typing import Iterator, Optional
 
 from repro.net.nexthop import Nexthop
 from repro.net.prefix import Prefix
+from repro.verify.markers import must_consume
 from repro.obs.registry import (
     NULL_COUNTER,
     NULL_HISTOGRAM,
@@ -143,6 +144,7 @@ class DownloadLog:
         return self.total
 
 
+@must_consume
 def diff_tables(
     old: dict[Prefix, Nexthop], new: dict[Prefix, Nexthop]
 ) -> list[FibDownload]:

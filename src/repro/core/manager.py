@@ -22,6 +22,7 @@ update stream and produces the aggregated FIB-download stream, handling
 from __future__ import annotations
 
 import time
+from collections import deque
 from typing import Callable, Iterable, Optional
 
 from repro.core.downloads import DownloadLog, FibDownload
@@ -33,6 +34,7 @@ from repro.net.update import RouteUpdate, UpdateKind
 from repro.obs.observability import Observability
 from repro.obs.registry import LATENCY_BUCKETS_S
 from repro.verify.audit import AuditConfig, AuditError
+from repro.verify.markers import must_consume
 
 
 class SmaltaManager:
@@ -137,16 +139,27 @@ class SmaltaManager:
         if self.loading:
             self._apply_to_ot_only(update)
             return []
+        downloads = self._apply_steady(update)
+        if self._policy_due():
+            downloads = downloads + self.snapshot_now(trigger="policy")
+        return downloads
+
+    def _apply_steady(self, update: RouteUpdate) -> list[FibDownload]:
+        """The steady-state incorporate path for one update: run the
+        algorithm, account the downloads, advance the audit sampler. The
+        snapshot-policy check is the caller's job."""
         downloads = self._incorporate(update)
         self.log.record_update_downloads(downloads)
         self.updates_since_snapshot += 1
         self._g_since_snapshot.set(float(self.updates_since_snapshot))
         self._maybe_audit_update()
-        if self.enabled and self.policy.should_snapshot(
-            self.updates_since_snapshot, self.state.at_size
-        ):
-            downloads = downloads + self.snapshot_now(trigger="policy")
         return downloads
+
+    def _policy_due(self) -> bool:
+        """True when the snapshot policy asks for a re-optimization."""
+        return self.enabled and self.policy.should_snapshot(
+            self.updates_since_snapshot, self.state.at_size
+        )
 
     def apply_many(self, updates: Iterable[RouteUpdate]) -> int:
         """Replay an iterable of updates; returns total downloads emitted."""
@@ -155,6 +168,7 @@ class SmaltaManager:
             total += len(self.apply(update))
         return total
 
+    @must_consume
     def apply_batch(self, updates: Iterable[RouteUpdate]) -> list[FibDownload]:
         """Incorporate one burst of updates on its per-prefix net effect.
 
@@ -193,9 +207,7 @@ class SmaltaManager:
         self.updates_since_snapshot += len(batch)
         self._g_since_snapshot.set(float(self.updates_since_snapshot))
         self._maybe_audit_update(len(batch))
-        if self.enabled and self.policy.should_snapshot(
-            self.updates_since_snapshot, self.state.at_size
-        ):
+        if self._policy_due():
             downloads = downloads + self.snapshot_now(trigger="policy")
         return downloads
 
@@ -290,6 +302,7 @@ class SmaltaManager:
 
     # -- snapshot ------------------------------------------------------------
 
+    @must_consume
     def snapshot_now(
         self, trigger: str = "manual", record: bool = True
     ) -> list[FibDownload]:
@@ -303,10 +316,47 @@ class SmaltaManager:
         accounted (no download-log record, no snapshot counter, no
         event) — the toggle path in :class:`~repro.router.zebra.Zebra`
         uses this because what ships to the kernel there is a
-        ``diff_tables`` delta it logs itself, not this burst.
+        ``diff_tables`` delta it logs itself, not this burst. Callers
+        that deliberately discard the burst go through
+        :meth:`rebuild_at` instead of dropping this return value.
+
+        The drain is a single explicit worklist, not a recursive call
+        back into :meth:`apply` (flow rule REPRO007): updates that
+        arrive *during* a nested snapshot pass are pushed to the front
+        of the queue, preserving the historical arrival ordering.
         """
         if not self.enabled:
             return []
+        downloads = self._snapshot_once(trigger, record)
+        pending: deque[RouteUpdate] = deque(self._take_queued())
+        while pending:
+            update = pending.popleft()
+            self._c_updates.inc()
+            if self.loading:
+                self._apply_to_ot_only(update)
+                continue
+            downloads.extend(self._apply_steady(update))
+            if self._policy_due():
+                downloads.extend(self._snapshot_once("policy", True))
+                pending.extendleft(reversed(self._take_queued()))
+        return downloads
+
+    def rebuild_at(self, trigger: str = "manual") -> int:
+        """Rebuild the AT, *deliberately* discarding the download burst.
+
+        The consuming wrapper for callers that only want the rebuilt
+        table — e.g. the zebra enable toggle, which ships a
+        ``diff_tables`` delta instead of the burst. Returns the burst
+        size, keeping the drop visible and REPRO008-clean.
+        """
+        return len(self.snapshot_now(trigger=trigger, record=False))
+
+    def _snapshot_once(self, trigger: str, record: bool) -> list[FibDownload]:
+        """One snapshot pass: rebuild the AT and account the burst.
+
+        Queued updates are *not* drained here — :meth:`snapshot_now`
+        owns that worklist.
+        """
         self._in_snapshot = True
         started = self._clock()
         try:
@@ -328,11 +378,12 @@ class SmaltaManager:
             self._updates_since_audit = 0
             self._c_audits.inc()
             self._run_audit(self.audit, "snapshot")
-        downloads = list(burst)
+        return list(burst)
+
+    def _take_queued(self) -> list[RouteUpdate]:
+        """Claim the updates queued behind the snapshot flag."""
         queued, self._queued = self._queued, []
-        for update in queued:
-            downloads.extend(self.apply(update))
-        return downloads
+        return queued
 
     # -- introspection ---------------------------------------------------------
 

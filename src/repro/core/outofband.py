@@ -111,8 +111,10 @@ class OutOfBandManager:
             raise RuntimeError("no snapshot in progress")
         fib_before = self.epoch_fib_table()
         state = self.manager.state
-        # One ORTC pass: the OT already contains the epoch's updates.
-        state.snapshot()
+        # One ORTC pass: the OT already contains the epoch's updates. The
+        # burst is intentionally dropped — the swap shipped to the FIB is
+        # the epoch-view delta computed below, not the AT-vs-AT delta.
+        state.rebuild()
         self._in_epoch = False
         self._overrides = {}
         self.manager.updates_since_snapshot = 0

@@ -34,6 +34,7 @@ from repro.core.trie import FibTrie, Node
 from repro.net.nexthop import DROP, Nexthop
 from repro.net.prefix import Prefix
 from repro.obs.observability import Observability
+from repro.verify.markers import must_consume
 
 
 class SmaltaState:
@@ -183,6 +184,7 @@ class SmaltaState:
             raise ValueError("the Original Tree never holds DROP entries")
         self.trie.set_ot(prefix, nexthop)
 
+    @must_consume
     def insert(self, prefix: Prefix, nexthop: Nexthop) -> list[FibDownload]:
         """Algorithm 1 — Insert(N, Q): add or change a prefix's nexthop."""
         self._insert(prefix, nexthop)
@@ -248,6 +250,7 @@ class SmaltaState:
             trie.prune(node_e)
         trie.prune(trie.ensure(prefix))
 
+    @must_consume
     def delete(self, prefix: Prefix) -> list[FibDownload]:
         """Algorithm 2 — Delete(N): remove a prefix (requires d_O(N) ≠ ε)."""
         self._delete(prefix)
@@ -317,6 +320,7 @@ class SmaltaState:
             self._reclaim(node_e, d_o_p, d_o_n)
             trie.prune(node_e)
 
+    @must_consume
     def apply_batch(
         self, ops: Iterable[tuple[Prefix, Optional[Nexthop]]]
     ) -> list[FibDownload]:
@@ -396,6 +400,7 @@ class SmaltaState:
 
     # -- snapshot -----------------------------------------------------------
 
+    @must_consume
     def snapshot(self, fast: bool = True, count: bool = True) -> list[FibDownload]:
         """snapshot(OT): rebuild the AT optimally via ORTC (Section 2.1).
 
@@ -443,6 +448,16 @@ class SmaltaState:
         self._g_ot_size.set(float(trie.ot_size))
         self._g_at_size.set(float(trie.at_size))
         return downloads
+
+    def rebuild(self, fast: bool = True, count: bool = True) -> int:
+        """Run :meth:`snapshot` and *deliberately* discard the delta.
+
+        The consuming wrapper for callers that only want the rebuilt AT
+        (the out-of-band toggle path, the timing experiments): the drop
+        is explicit in the API instead of a bare unused return value
+        (flow rule REPRO008). Returns the size of the discarded burst.
+        """
+        return len(self.snapshot(fast=fast, count=count))
 
     def _rebuild_preimages(self) -> None:
         """Recompute deaggregate preimage pointers for a fresh AT.

@@ -54,6 +54,7 @@ class ChannelState(enum.Enum):
     HEALTHY = "healthy"  #: all sent ops delivered; queue empty
     RETRYING = "retrying"  #: draining the pending queue through faults
     RECONCILING = "reconciling"  #: escalated to a full-sync repair
+    CLOSED = "closed"  #: drained and decommissioned; all traffic refused
 
 
 @dataclass(frozen=True)
@@ -159,6 +160,7 @@ class DownloadChannel:
         (possibly after retries) or a full-sync reconciliation repaired
         the kernel — in both cases ``kernel ≡ desired FIB`` holds again.
         """
+        self._check_open("send")
         if len(downloads) == 0:
             return
         if self.faults is None and len(self._pending) == 0:
@@ -177,14 +179,37 @@ class DownloadChannel:
 
     def flush(self) -> None:
         """Drain anything still pending (a convergence point)."""
+        self._check_open("flush")
         if len(self._pending) > 0:
             self._drain()
 
     def resync(self, trigger: str = "manual") -> None:
         """Force a full-sync reconciliation (the CLI's ``channel resync``)."""
+        self._check_open("resync")
         self._escalate(trigger)
 
+    def close(self) -> None:
+        """Drain the queue, then decommission the channel for good.
+
+        After ``close()`` every further ``send``/``flush``/``resync``/
+        ``close`` raises :class:`RuntimeError`. Flow rule REPRO010
+        enforces the same lifecycle statically wherever the channel is a
+        local constructed in the analyzed scope, so the mistake is
+        caught before it can reach this runtime guard.
+        """
+        self._check_open("close")
+        if len(self._pending) > 0:
+            self._drain()
+        self.state = ChannelState.CLOSED
+
     # -- internals --------------------------------------------------------
+
+    def _check_open(self, operation: str) -> None:
+        if self.state is ChannelState.CLOSED:
+            raise RuntimeError(
+                f"DownloadChannel.{operation}() called after close(); "
+                "the channel is decommissioned"
+            )
 
     def _drain(self) -> None:
         self.state = ChannelState.RETRYING

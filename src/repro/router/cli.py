@@ -7,6 +7,7 @@ instance and return the text a terminal would print.
 
 from __future__ import annotations
 
+from repro.router.reconcile import ReconcileError
 from repro.router.zebra import Zebra
 
 
@@ -89,7 +90,14 @@ class RouterCli:
                 f"  full-sync reconciles:    {channel.resyncs}"
             )
         if command == "channel resync":
-            self.zebra.channel.resync("manual")
+            try:
+                self.zebra.channel.resync("manual")
+            except ReconcileError as exc:
+                # Surface the failed repair instead of swallowing it
+                # (flow rule REPRO011): the operator sees the residual
+                # drift and the event log keeps a record.
+                self.zebra.obs.event("resync_failed", trigger="manual")
+                return f"full sync FAILED: {exc}"
             report = self.zebra.reconciler
             return (
                 f"full sync complete: {report.repaired_ops} ops repaired "

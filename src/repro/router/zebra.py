@@ -172,7 +172,7 @@ class Zebra:
             return []
         # Rebuild the AT without recording the snapshot burst: the kernel
         # holds the OT, so what ships is the OT→AT delta, logged below.
-        self.manager.snapshot_now(trigger="enable", record=False)
+        self.manager.rebuild_at(trigger="enable")
         return self._swap_kernel(self.manager.fib_table(), "enable")
 
     def disable_smalta(self) -> list[FibDownload]:

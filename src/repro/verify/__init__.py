@@ -2,7 +2,7 @@
 
 The paper reports that the authors "automatically computed the
 correctness of millions of updated aggregated tables"; this package is
-that machinery, grown into three layers:
+that machinery, grown into four layers:
 
 - :mod:`repro.verify.invariants` — a structural auditor that walks the
   OT/AT union trie once and checks the bookkeeping invariants the
@@ -21,18 +21,28 @@ that machinery, grown into three layers:
   classes, no trie-bookkeeping writes outside ``core/``, no wall-clock
   reads in algorithm code, no recursion in trie walkers, annotations on
   public ``core/`` functions, no truthiness tests on ``__len__``-bearing
-  objects).
+  objects);
+- :mod:`repro.verify.flow` — the whole-program flow analyzer
+  (``python -m repro.verify.flow src/repro examples``): a repo-wide
+  call graph plus per-function CFG dataflow, running interprocedural
+  rules REPRO007–REPRO012 (recursion cycles, dropped ``@must_consume``
+  deltas, mutation during live traversals, typestate protocols,
+  swallowed failures, metric-catalog drift). REPRO004 in the lint layer
+  is its single-function fast-path alias.
 
-See ``docs/VERIFICATION.md`` for the full invariant catalogue.
+See ``docs/VERIFICATION.md`` for the full invariant and rule catalogue.
 """
 
-from repro.verify.audit import AuditConfig, AuditError
-from repro.verify.invariants import (
-    InvariantCode,
-    Violation,
-    audit_state,
-    audit_trie,
-)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis aid only
+    from repro.verify.audit import AuditConfig, AuditError
+    from repro.verify.invariants import (
+        InvariantCode,
+        Violation,
+        audit_state,
+        audit_trie,
+    )
 
 __all__ = [
     "AuditConfig",
@@ -42,3 +52,29 @@ __all__ = [
     "audit_state",
     "audit_trie",
 ]
+
+#: Which sibling module provides each lazily re-exported name.
+_EXPORTS = {
+    "AuditConfig": "repro.verify.audit",
+    "AuditError": "repro.verify.audit",
+    "InvariantCode": "repro.verify.invariants",
+    "Violation": "repro.verify.invariants",
+    "audit_state": "repro.verify.invariants",
+    "audit_trie": "repro.verify.invariants",
+}
+
+
+def __getattr__(name: str) -> object:
+    """Resolve the public surface lazily (PEP 562).
+
+    The auditor modules import ``repro.core``, while ``repro.core``
+    imports :mod:`repro.verify.markers` for the ``@must_consume``
+    contract marker; deferring the auditor imports keeps that pair of
+    dependencies acyclic.
+    """
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,6 @@
+"""``python -m repro.verify.flow`` entry point."""
+
+from repro.verify.flow.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

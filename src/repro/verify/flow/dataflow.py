@@ -1,0 +1,198 @@
+"""Intraprocedural dataflow over :mod:`repro.verify.flow.cfg` graphs.
+
+Two engines live here:
+
+- :func:`liveness` — backward may-liveness of local names, the lattice
+  behind rule REPRO008 (a ``@must_consume`` result whose definition is
+  dead at the definition point was dropped);
+- :func:`forward_fixpoint` — a small generic forward worklist solver,
+  used by the REPRO010 typestate rule.
+
+Compound statements appearing in a block are *headers only*: their
+bodies are separate blocks, so the transfer functions read just the
+header expressions (``if`` tests, ``for`` iterables, ``with`` items).
+Simple statements are scanned whole — including nested lambdas and
+defs, whose free-variable reads count as uses; over-counting uses only
+ever silences findings, never invents them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Optional, TypeVar
+
+from repro.verify.flow.cfg import CFG
+
+S = TypeVar("S")
+
+_HEADER_TYPES = (
+    ast.If,
+    ast.While,
+    ast.For,
+    ast.AsyncFor,
+    ast.With,
+    ast.AsyncWith,
+    ast.Match,
+)
+
+
+def header_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions a compound statement evaluates in its own block."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    return []
+
+
+def _loaded_names(nodes: list[ast.expr]) -> frozenset[str]:
+    names: set[str] = set()
+    for root in nodes:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                names.add(node.id)
+    return frozenset(names)
+
+
+def stmt_uses(stmt: ast.stmt) -> frozenset[str]:
+    """Names a block statement may read."""
+    if isinstance(stmt, _HEADER_TYPES):
+        return _loaded_names(header_exprs(stmt))
+    names: set[str] = set()
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            names.add(node.id)
+    if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+        names.add(stmt.target.id)  # x += 1 reads x before writing it
+    return frozenset(names)
+
+
+def _target_names(target: ast.expr) -> frozenset[str]:
+    names: set[str] = set()
+    stack: list[ast.expr] = [target]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            stack.extend(node.elts)
+        elif isinstance(node, ast.Starred):
+            stack.append(node.value)
+    return frozenset(names)
+
+
+def stmt_defs(stmt: ast.stmt) -> frozenset[str]:
+    """Names a block statement (re)binds — the liveness kill set."""
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return _target_names(stmt.target)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        names: set[str] = set()
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names |= _target_names(item.optional_vars)
+        return frozenset(names)
+    if isinstance(stmt, _HEADER_TYPES):
+        return frozenset()
+    if isinstance(stmt, ast.Assign):
+        names = set()
+        for target in stmt.targets:
+            names |= _target_names(target)
+        return frozenset(names)
+    if isinstance(stmt, ast.AnnAssign):
+        return _target_names(stmt.target) if stmt.value is not None else frozenset()
+    if isinstance(stmt, ast.AugAssign):
+        return _target_names(stmt.target)
+    if isinstance(stmt, ast.Delete):
+        names = set()
+        for target in stmt.targets:
+            names |= _target_names(target)
+        return frozenset(names)
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return frozenset({stmt.name})
+    if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        names = set()
+        for alias in stmt.names:
+            if alias.name == "*":
+                continue
+            names.add(alias.asname or alias.name.split(".")[0])
+        return frozenset(names)
+    return frozenset()
+
+
+def liveness(cfg: CFG) -> tuple[dict[int, frozenset[str]], dict[int, frozenset[str]]]:
+    """Backward may-liveness; returns ``(live_in, live_out)`` per block."""
+    preds = cfg.preds()
+    live_in: dict[int, frozenset[str]] = {b.id: frozenset() for b in cfg.blocks}
+    live_out: dict[int, frozenset[str]] = {b.id: frozenset() for b in cfg.blocks}
+    worklist: list[int] = [b.id for b in cfg.blocks]
+    while worklist:
+        block_id = worklist.pop()
+        block = cfg.blocks[block_id]
+        out: frozenset[str] = frozenset().union(
+            *(live_in[s] for s in block.succs)
+        ) if block.succs else frozenset()
+        live_out[block_id] = out
+        live = set(out)
+        for stmt in reversed(block.stmts):
+            live -= stmt_defs(stmt)
+            live |= stmt_uses(stmt)
+        frozen = frozenset(live)
+        if frozen != live_in[block_id]:
+            live_in[block_id] = frozen
+            worklist.extend(preds[block_id])
+    return live_in, live_out
+
+
+def live_after(
+    cfg: CFG,
+    live_out: dict[int, frozenset[str]],
+    block_id: int,
+    index: int,
+) -> frozenset[str]:
+    """Names live immediately *after* ``blocks[block_id].stmts[index]``."""
+    block = cfg.blocks[block_id]
+    live = set(live_out[block_id])
+    for stmt in reversed(block.stmts[index + 1 :]):
+        live -= stmt_defs(stmt)
+        live |= stmt_uses(stmt)
+    return frozenset(live)
+
+
+def forward_fixpoint(
+    cfg: CFG,
+    initial: S,
+    transfer: Callable[[int, S], S],
+    join: Callable[[list[S]], Optional[S]],
+) -> dict[int, S]:
+    """Generic forward worklist solver; returns the in-state per block.
+
+    ``transfer(block_id, state)`` maps a block's in-state to its
+    out-state; ``join`` merges predecessor out-states (returning None
+    for an unreachable block keeps its in-state at ``initial``). States
+    are compared with ``==``, so they must be value-comparable and the
+    transfer/join pair must be monotone for termination.
+    """
+    preds = cfg.preds()
+    in_state: dict[int, S] = {b.id: initial for b in cfg.blocks}
+    out_state: dict[int, S] = {
+        b.id: transfer(b.id, initial) for b in cfg.blocks
+    }
+    worklist: list[int] = [b.id for b in cfg.blocks]
+    while worklist:
+        block_id = worklist.pop(0)
+        incoming = [out_state[p] for p in preds[block_id]]
+        merged = join(incoming) if incoming else None
+        new_in = initial if merged is None else merged
+        new_out = transfer(block_id, new_in)
+        changed = new_in != in_state[block_id] or new_out != out_state[block_id]
+        in_state[block_id] = new_in
+        out_state[block_id] = new_out
+        if changed:
+            for succ in cfg.blocks[block_id].succs:
+                if succ not in worklist:
+                    worklist.append(succ)
+    return in_state

@@ -1,0 +1,136 @@
+"""Findings, fingerprints, baselines, and output formats.
+
+Fingerprints are stable across line-number churn: they hash the rule,
+the repo-relative path, the enclosing symbol, and the message — not
+the line. A baseline file is a JSON map of fingerprints that are
+*known and tolerated*; the CLI subtracts it so legacy findings don't
+block CI while new ones still fail the build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str  #: repo-relative POSIX path when possible
+    line: int
+    symbol: str  #: enclosing function qualname, module, or doc anchor
+    message: str
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number free)."""
+        digest = hashlib.sha256(self.message.encode("utf-8")).hexdigest()[:16]
+        raw = f"{self.rule}|{self.path}|{self.symbol}|{digest}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:24]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} [{self.symbol}] {self.message}"
+
+
+def relativize(path: Path, root: Optional[Path]) -> str:
+    """``path`` as a POSIX string relative to ``root`` when underneath it."""
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def load_baseline(path: Path) -> frozenset[str]:
+    """The fingerprints recorded in a baseline file (empty if absent)."""
+    if not path.exists():
+        return frozenset()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "fingerprints" not in data:
+        raise ValueError(f"{path}: not a flow baseline file")
+    return frozenset(data["fingerprints"])
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Record ``findings`` as tolerated; sorted for diff-friendliness."""
+    entries = {
+        finding.fingerprint(): {
+            "rule": finding.rule,
+            "path": finding.path,
+            "symbol": finding.symbol,
+        }
+        for finding in findings
+    }
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": dict(sorted(entries.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines = [finding.render() for finding in findings]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps([asdict(f) for f in findings], indent=2) + "\n"
+
+
+def render_sarif(
+    findings: Sequence[Finding], rule_index: dict[str, str]
+) -> str:
+    """Minimal SARIF 2.1.0 — one run, one result per finding."""
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": summary},
+        }
+        for code, summary in sorted(rule_index.items())
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": f"[{finding.symbol}] {finding.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {"startLine": max(finding.line, 1)},
+                    }
+                }
+            ],
+            "fingerprints": {"reproFlow/v1": finding.fingerprint()},
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-flow",
+                        "informationUri": "https://example.invalid/repro-flow",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2) + "\n"

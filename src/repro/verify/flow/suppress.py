@@ -1,0 +1,48 @@
+"""Inline suppression comments for the flow analyzer.
+
+A finding is waived by ``# repro: allow[RULE]`` (comma-separated for
+several rules) on the offending line or on the line directly above it.
+The marker is deliberately distinct from ``# noqa`` — waiving a
+whole-program finding is a stronger statement than waiving a style
+nit, and it should be greppable on its own.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]*)\]")
+
+
+def parse_allow(line: str) -> frozenset[str]:
+    """Rule codes waived by suppression markers on one source line."""
+    codes: set[str] = set()
+    for match in _ALLOW_RE.finditer(line):
+        for part in match.group(1).split(","):
+            code = part.strip()
+            if code:
+                codes.add(code)
+    return frozenset(codes)
+
+
+def allowed_codes(source_lines: Sequence[str], lineno: int) -> frozenset[str]:
+    """Codes waived at ``lineno`` (1-based): same line or the line above."""
+    codes: set[str] = set()
+    if 1 <= lineno <= len(source_lines):
+        codes |= parse_allow(source_lines[lineno - 1])
+    if 2 <= lineno <= len(source_lines) + 1:
+        codes |= parse_allow(source_lines[lineno - 2])
+    return frozenset(codes)
+
+
+def is_suppressed(
+    source_lines: Sequence[str], lineno: int, rule: str
+) -> bool:
+    """True when ``rule`` is waived at ``lineno`` in this file."""
+    return rule in allowed_codes(source_lines, lineno)
+
+
+def format_allow(codes: Iterable[str]) -> str:
+    """Render a suppression comment that :func:`parse_allow` round-trips."""
+    return f"# repro: allow[{','.join(sorted(set(codes)))}]"

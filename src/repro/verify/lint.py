@@ -17,7 +17,11 @@ refactor aggressively:
   deterministically.
 - **REPRO004** ``recursive-walker`` — no self-recursive functions:
   trie walkers recursing per bit overflow the interpreter stack at
-  width 128 (IPv6); use an explicit stack.
+  width 128 (IPv6); use an explicit stack. This is the *fast-path
+  alias* of flow rule **REPRO007**: it catches only direct
+  self-recursion in a single file, while ``python -m repro.verify.flow``
+  builds the repo-wide call graph and also flags mutual recursion
+  (``a -> b -> a`` walkers) this pass provably cannot see.
 - **REPRO005** ``untyped-public`` — public functions and methods in
   ``repro/core``, ``repro/net``, ``repro/verify``, ``repro/fib`` and
   ``repro/router`` must annotate every parameter and the return type
@@ -41,11 +45,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro.verify.config import ANNOTATED_PACKAGES, collect_files, package_parts
+
 RULES: dict[str, str] = {
     "REPRO001": "node class must declare __slots__",
     "REPRO002": "trie bookkeeping attribute written outside repro/core",
     "REPRO003": "wall-clock read in library code (inject a clock instead)",
-    "REPRO004": "self-recursive walker (use an explicit stack)",
+    "REPRO004": (
+        "self-recursive walker (use an explicit stack); fast-path alias "
+        "of flow rule REPRO007, which also catches mutual recursion"
+    ),
     "REPRO005": "public function missing parameter or return annotations",
     "REPRO006": "truthiness test on a __len__-bearing object",
 }
@@ -64,20 +73,6 @@ WALL_CLOCK = frozenset(
     }
 )
 
-#: Packages whose public functions must be fully annotated (REPRO005).
-ANNOTATED_PACKAGES = (
-    "core",
-    "net",
-    "verify",
-    "fib",
-    "router",
-    "bgp",
-    "workloads",
-    "obs",
-    "faults",
-)
-
-
 @dataclass(frozen=True)
 class LintError:
     """One finding, formatted like a compiler diagnostic."""
@@ -90,15 +85,6 @@ class LintError:
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
-
-
-def _package_parts(path: Path) -> tuple[str, ...]:
-    """The path components after the last ``repro`` directory, if any."""
-    parts = path.parts
-    for index in range(len(parts) - 1, -1, -1):
-        if parts[index] == "repro":
-            return parts[index + 1 :]
-    return parts
 
 
 def collect_len_classes(trees: Iterable[ast.Module]) -> set[str]:
@@ -158,7 +144,7 @@ class _FileLinter(ast.NodeVisitor):
         self.path = path
         self.len_classes = len_classes
         self.errors: list[LintError] = []
-        parts = _package_parts(path)
+        parts = package_parts(path)
         self.in_core = bool(parts) and parts[0] == "core"
         self.needs_annotations = bool(parts) and parts[0] in ANNOTATED_PACKAGES
         #: Enclosing function names (for REPRO004).
@@ -379,21 +365,6 @@ class _FileLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _collect_files(paths: Sequence[Path]) -> list[Path]:
-    files: list[Path] = []
-    for path in paths:
-        if path.is_dir():
-            files.extend(
-                p
-                for p in sorted(path.rglob("*.py"))
-                if "__pycache__" not in p.parts
-                and not any(part.endswith(".egg-info") for part in p.parts)
-            )
-        elif path.suffix == ".py":
-            files.append(path)
-    return files
-
-
 def _waived(source_lines: list[str], error: LintError) -> bool:
     """True when the offending line carries a matching ``# noqa``."""
     if not 1 <= error.line <= len(source_lines):
@@ -412,7 +383,7 @@ def lint_paths(
     paths: Sequence[Path], select: Optional[set[str]] = None
 ) -> list[LintError]:
     """Lint every Python file under ``paths``; returns surviving findings."""
-    files = _collect_files(paths)
+    files = collect_files(paths)
     sources: dict[Path, str] = {}
     trees: dict[Path, ast.Module] = {}
     for path in files:

@@ -1,0 +1,96 @@
+"""Regression: the queued-update drain in ``snapshot_now`` is iterative.
+
+The flow analyzer's REPRO007 rule flagged the original drain — the
+loop called ``apply``, which called ``snapshot_now`` back when the
+policy fired, an interprocedural recursion cycle. The fix turned the
+drain into an explicit worklist. This test pins the behaviour at
+runtime: a long chain of policy-retriggered snapshots (each injecting
+one more mid-snapshot arrival) must complete under a recursion limit
+the old recursive implementation could not survive.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.core.equivalence import semantically_equivalent
+from repro.core.manager import SmaltaManager
+from repro.core.policy import PeriodicUpdateCountPolicy
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate
+
+from tests.conftest import make_nexthops
+
+NH = make_nexthops(4)
+A = NH[0]
+
+CHAIN = 120
+
+
+class ChainInjector:
+    """A clock that injects one arrival into every snapshot occurrence.
+
+    With snapshot spacing 1, each drained arrival retriggers the
+    policy, whose snapshot injects the next arrival: a chain of CHAIN
+    nested snapshots. The old implementation recursed once per link.
+    """
+
+    def __init__(self) -> None:
+        self.manager: Optional[SmaltaManager] = None
+        self.remaining = 0  # armed after end_of_rib, not during it
+        self.sequence = 0
+        self.time = 0.0
+
+    def __call__(self) -> float:
+        self.time += 1.0
+        manager = self.manager
+        if manager is not None and manager._in_snapshot and self.remaining > 0:
+            self.remaining -= 1
+            prefix = Prefix.from_bits(format(self.sequence % 256, "08b"), width=8)
+            self.sequence += 1
+            manager.apply(RouteUpdate.announce(prefix, A))
+        return self.time
+
+
+def test_deep_snapshot_chain_completes_without_recursion() -> None:
+    injector = ChainInjector()
+    manager = SmaltaManager(
+        width=8, policy=PeriodicUpdateCountPolicy(1), clock=injector
+    )
+    injector.manager = manager
+    manager.end_of_rib()
+    injector.remaining = CHAIN
+    # Leave headroom for the test harness itself, but far less than the
+    # ~3 frames per chain link the recursive drain used to consume.
+    limit = sys.getrecursionlimit()
+    frames = 0
+    frame = sys._getframe()
+    while frame is not None:
+        frames += 1
+        frame = frame.f_back
+    sys.setrecursionlimit(frames + 60)
+    try:
+        manager.snapshot_now()
+    finally:
+        sys.setrecursionlimit(limit)
+    assert injector.remaining == 0  # the whole chain really ran
+    assert manager._queued == []
+    assert semantically_equivalent(
+        manager.state.ot_table(), manager.fib_table(), 8
+    )
+
+
+def test_chain_accounts_every_snapshot_occurrence() -> None:
+    injector = ChainInjector()
+    manager = SmaltaManager(
+        width=8, policy=PeriodicUpdateCountPolicy(1), clock=injector
+    )
+    injector.manager = manager
+    manager.end_of_rib()
+    injector.remaining = 5
+    before = manager.log.snapshot_count
+    manager.snapshot_now()
+    # The manual snapshot plus one policy snapshot per injected arrival.
+    assert manager.log.snapshot_count == before + 6
+    assert manager.updates_since_snapshot == 0

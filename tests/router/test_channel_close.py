@@ -1,0 +1,80 @@
+"""The DownloadChannel close() lifecycle and the CLI's resync handler.
+
+Both were introduced alongside the flow analyzer: ``close()`` is the
+runtime twin of the REPRO010 typestate protocol (use-after-close is
+also caught statically), and the CLI's ``channel resync`` handler is
+the REPRO011 fix — a failed full sync is surfaced and recorded, never
+swallowed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.downloads import FibDownload
+from repro.net.prefix import Prefix
+from repro.router.channel import ChannelState
+from repro.router.cli import RouterCli
+from repro.router.reconcile import ReconcileError
+from repro.router.zebra import Zebra
+
+from tests.conftest import make_nexthops
+
+NH = make_nexthops(4)
+A = NH[0]
+
+
+def bp(bits: str) -> Prefix:
+    return Prefix.from_bits(bits, width=8)
+
+
+def make_zebra() -> Zebra:
+    zebra = Zebra(width=8, smalta_enabled=True)
+    zebra.rib_install_kernel(bp("10"), A)
+    zebra.end_of_rib()
+    return zebra
+
+
+class TestClose:
+    def test_close_drains_then_decommissions(self) -> None:
+        zebra = make_zebra()
+        channel = zebra.channel
+        channel._pending.append(FibDownload.insert(bp("11"), A))
+        channel.close()
+        assert channel.state is ChannelState.CLOSED
+        assert channel.pending == 0
+        assert zebra.kernel.table()[bp("11")] == A  # the drain delivered
+
+    @pytest.mark.parametrize("operation", ["send", "flush", "resync", "close"])
+    def test_every_operation_refused_after_close(self, operation: str) -> None:
+        channel = make_zebra().channel
+        channel.close()
+        args = ([],) if operation == "send" else ()
+        with pytest.raises(RuntimeError, match="after close"):
+            getattr(channel, operation)(*args)
+
+    def test_error_message_names_the_operation(self) -> None:
+        channel = make_zebra().channel
+        channel.close()
+        with pytest.raises(RuntimeError, match=r"DownloadChannel\.flush\(\)"):
+            channel.flush()
+
+
+class TestCliResyncFailure:
+    def test_failed_sync_is_surfaced_not_swallowed(self, monkeypatch) -> None:
+        zebra = make_zebra()
+        cli = RouterCli(zebra)
+
+        def boom(trigger: str = "manual") -> None:
+            raise ReconcileError("residual drift: 3 entries")
+
+        monkeypatch.setattr(zebra.reconciler, "sync", boom)
+        output = cli.execute("channel resync")
+        assert "full sync FAILED" in output
+        assert "residual drift: 3 entries" in output
+        assert zebra.obs.events.counts().get("resync_failed") == 1
+
+    def test_successful_sync_still_reports(self) -> None:
+        cli = RouterCli(make_zebra())
+        output = cli.execute("channel resync")
+        assert "full sync complete" in output

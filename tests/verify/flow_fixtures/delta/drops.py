@@ -1,0 +1,44 @@
+"""REPRO008 fixture: discarded results of ``@must_consume`` producers.
+
+The decorator here is a local lookalike — the rule matches the
+decorator *name*, so the fixture never has to import the real marker.
+"""
+
+
+def must_consume(func):
+    return func
+
+
+@must_consume
+def make_delta() -> list:
+    return [1, 2, 3]
+
+
+def drops_directly() -> None:
+    make_delta()
+
+
+def binds_and_forgets() -> int:
+    delta = make_delta()
+    count = 1
+    return count
+
+
+def consumes() -> int:
+    return len(make_delta())
+
+
+def binds_and_uses() -> list:
+    delta = make_delta()
+    return list(delta)
+
+
+def branch_consumes(flag: bool) -> list:
+    delta = make_delta()
+    if flag:
+        return delta
+    return []
+
+
+def waived() -> None:
+    make_delta()  # repro: allow[REPRO008]

@@ -1,0 +1,13 @@
+"""REPRO008 fixture: a module-level drop (scripts are scopes too)."""
+
+
+def must_consume(func):
+    return func
+
+
+@must_consume
+def burst() -> list:
+    return [1]
+
+
+burst()

@@ -1,0 +1,15 @@
+"""REPRO012 fixture: registered series vs the CATALOG.md next door."""
+
+
+class Registry:
+    def counter(self, name: str, help: str):
+        return object()
+
+    def gauge(self, name: str, help: str):
+        return object()
+
+
+def register(registry: Registry):
+    sent = registry.counter("fixture_ops_total", "ops through the fixture")
+    depth = registry.gauge("fixture_undocumented_depth", "not in the catalog")
+    return sent, depth

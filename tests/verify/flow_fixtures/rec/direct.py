@@ -1,0 +1,7 @@
+"""REPRO007 fixture: direct self-recursion (REPRO004's fast path)."""
+
+
+def plain_recursive(n: int) -> int:
+    if n <= 0:
+        return 1
+    return plain_recursive(n - 1)

@@ -1,0 +1,23 @@
+"""REPRO007 fixture: a mutual ping->pong->ping cycle.
+
+The per-function lint rule REPRO004 cannot see this — neither function
+calls itself — which is exactly why the call-graph rule exists.
+"""
+
+
+def ping(n: int) -> int:
+    if n <= 0:
+        return 0
+    return pong(n - 1)
+
+
+def pong(n: int) -> int:
+    return ping(n - 1)
+
+
+def iterative(n: int) -> int:
+    total = 0
+    while n > 0:
+        total += n
+        n -= 1
+    return total

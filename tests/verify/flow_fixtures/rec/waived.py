@@ -1,0 +1,9 @@
+"""REPRO007 fixture: a cycle waived with an inline suppression."""
+
+
+def left(n: int) -> int:  # repro: allow[REPRO007]
+    return right(n)
+
+
+def right(n: int) -> int:
+    return left(n)

@@ -1,0 +1,66 @@
+"""REPRO011 fixture: except handlers that swallow watched failures."""
+
+
+class ReconcileError(RuntimeError):
+    pass
+
+
+class Violation(Exception):
+    pass
+
+
+class Log:
+    def error(self, message: str) -> None:
+        del message
+
+
+LOG = Log()
+
+
+def swallows_silently(action) -> None:
+    try:
+        action()
+    except ReconcileError:
+        pass
+
+
+def swallows_bare(action) -> None:
+    try:
+        action()
+    except:  # noqa: E722
+        pass
+
+
+def reraises(action) -> None:
+    try:
+        action()
+    except ReconcileError:
+        raise
+
+
+def logs(action) -> None:
+    try:
+        action()
+    except ReconcileError:
+        LOG.error("resync failed")
+
+
+def propagates_object(action):
+    try:
+        action()
+    except Violation as exc:
+        return exc
+
+
+def unrelated_is_fine(action) -> None:
+    try:
+        action()
+    except ValueError:
+        pass
+
+
+def waived(action) -> None:
+    try:
+        action()
+    except ReconcileError:  # repro: allow[REPRO011]
+        pass

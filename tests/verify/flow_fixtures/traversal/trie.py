@@ -1,0 +1,37 @@
+"""REPRO009 fixture: mutating a structure while iterating over it."""
+
+
+class Trie:
+    def __init__(self) -> None:
+        self.nodes: list = []
+
+    def iter_nodes(self):
+        yield from self.nodes
+
+    def insert(self, item) -> None:
+        self.nodes.append(item)
+
+    def helper_add(self, item) -> None:
+        # Not in the rule's mutator-name list: only reachable through
+        # the self-mutator summary (it writes self.nodes via a call).
+        self.nodes.append(item)
+
+
+def mutates_during_walk(trie: Trie) -> None:
+    for node in trie.iter_nodes():
+        trie.insert(node)
+
+
+def mutates_via_helper(trie: Trie) -> None:
+    for node in trie.iter_nodes():
+        trie.helper_add(node)
+
+
+def safe_materialized(trie: Trie) -> None:
+    for node in list(trie.iter_nodes()):
+        trie.insert(node)
+
+
+def waived(trie: Trie) -> None:
+    for node in trie.iter_nodes():
+        trie.insert(node)  # repro: allow[REPRO009]

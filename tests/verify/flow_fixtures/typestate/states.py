@@ -1,0 +1,67 @@
+"""REPRO010 fixture: typestate protocols on local lookalike classes."""
+
+
+class SmaltaState:
+    def __init__(self) -> None:
+        self.table: dict = {}
+
+    def load(self, prefix, nexthop) -> None:
+        self.table[prefix] = nexthop
+
+    def insert(self, prefix, nexthop) -> list:
+        self.table[prefix] = nexthop
+        return []
+
+
+class DownloadChannel:
+    def __init__(self) -> None:
+        self.closed = False
+
+    def send(self, ops) -> None:
+        del ops
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def load_then_insert_ok() -> None:
+    state = SmaltaState()
+    state.load("p", "a")
+    state.insert("p", "b")
+
+
+def load_after_live_bad() -> None:
+    state = SmaltaState()
+    state.insert("p", "a")
+    state.load("q", "b")
+
+
+def use_after_close_bad() -> None:
+    channel = DownloadChannel()
+    channel.close()
+    channel.send([])
+
+
+def branch_dependent(flag: bool) -> None:
+    # close() on only one path: a MAY violation, which the rule must
+    # stay silent on (it reports must-violations only).
+    channel = DownloadChannel()
+    if flag:
+        channel.close()
+    channel.send([])
+
+
+def reopen_by_rebinding() -> None:
+    channel = DownloadChannel()
+    channel.close()
+    channel = DownloadChannel()
+    channel.send([])
+
+
+def waived() -> None:
+    channel = DownloadChannel()
+    channel.close()
+    channel.flush()  # repro: allow[REPRO010]

@@ -1,0 +1,1 @@
+"""REPRO007 cross-module fixture package."""

@@ -1,0 +1,9 @@
+"""Half of a cross-module cycle: calls through a from-import."""
+
+from pkg.b import beta
+
+
+def alpha(n: int) -> int:
+    if n <= 0:
+        return 0
+    return beta(n - 1)

@@ -1,0 +1,7 @@
+"""Other half: calls back through a module-attribute reference."""
+
+from pkg import a
+
+
+def beta(n: int) -> int:
+    return a.alpha(n - 1)

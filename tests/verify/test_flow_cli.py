@@ -1,0 +1,115 @@
+"""Exit-code and output-format contract of ``python -m repro.verify.flow``.
+
+The contract CI relies on: 0 clean (or fully baselined), 1 at least
+one fresh finding, 2 usage error. Tests drive :func:`main` directly —
+same code path as the module entry point, no subprocesses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verify.flow.cli import BASELINE_NAME, main
+
+FIXTURES = Path(__file__).resolve().parent / "flow_fixtures"
+CLEAN_FILE = FIXTURES / "swallow" / "handlers.py"
+DIRTY_DIR = FIXTURES / "rec"
+
+
+def run(args: list[str]) -> int:
+    return main([str(a) for a in args])
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, capsys) -> None:
+        # handlers.py is clean under REPRO007 (no recursion there).
+        assert run([CLEAN_FILE, "--select", "REPRO007"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys) -> None:
+        assert run([DIRTY_DIR, "--select", "REPRO007"]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO007" in out
+        assert "2 finding(s)" in out
+
+    def test_missing_path_is_usage_error(self) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            run([FIXTURES / "does-not-exist"])
+        assert excinfo.value.code == 2
+
+    def test_no_paths_is_usage_error(self) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            run([])
+        assert excinfo.value.code == 2
+
+    def test_unknown_rule_is_usage_error(self) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            run([CLEAN_FILE, "--select", "REPRO999"])
+        assert excinfo.value.code == 2
+
+    def test_missing_metrics_doc_is_usage_error(self) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            run([CLEAN_FILE, "--metrics-doc", FIXTURES / "nope.md"])
+        assert excinfo.value.code == 2
+
+
+class TestFormats:
+    def test_json_output(self, tmp_path: Path, capsys) -> None:
+        out_file = tmp_path / "report.json"
+        code = run(
+            [DIRTY_DIR, "--select", "REPRO007", "--format", "json",
+             "--output", out_file]
+        )
+        assert code == 1
+        payload = json.loads(out_file.read_text(encoding="utf-8"))
+        assert [item["rule"] for item in payload] == ["REPRO007", "REPRO007"]
+
+    def test_sarif_output(self, tmp_path: Path) -> None:
+        out_file = tmp_path / "report.sarif"
+        code = run(
+            [DIRTY_DIR, "--select", "REPRO007", "--format", "sarif",
+             "--output", out_file]
+        )
+        assert code == 1
+        sarif = json.loads(out_file.read_text(encoding="utf-8"))
+        assert sarif["version"] == "2.1.0"
+        results = sarif["runs"][0]["results"]
+        assert len(results) == 2
+        assert all(r["ruleId"] == "REPRO007" for r in results)
+
+    def test_list_rules(self, capsys) -> None:
+        assert run(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REPRO007", "REPRO008", "REPRO012"):
+            assert code in out
+
+
+class TestBaseline:
+    def test_write_then_rerun_is_clean(self, tmp_path: Path, capsys) -> None:
+        baseline = tmp_path / BASELINE_NAME
+        assert (
+            run([DIRTY_DIR, "--select", "REPRO007",
+                 "--baseline", baseline, "--write-baseline"])
+            == 0
+        )
+        assert "2 fingerprint(s)" in capsys.readouterr().out
+        # The same findings are now tolerated...
+        assert run([DIRTY_DIR, "--select", "REPRO007", "--baseline", baseline]) == 0
+        # ...but a different rule's findings are still fresh.
+        assert (
+            run([FIXTURES / "delta", "--select", "REPRO008",
+                 "--baseline", baseline])
+            == 1
+        )
+
+    def test_repo_baseline_is_empty(self) -> None:
+        """The checked-in baseline must stay empty: genuine findings are
+        fixed, not tolerated. (PR policy, enforced here.)"""
+        repo_root = Path(__file__).resolve().parents[2]
+        payload = json.loads(
+            (repo_root / BASELINE_NAME).read_text(encoding="utf-8")
+        )
+        assert payload == {"version": 1, "fingerprints": {}}

@@ -1,0 +1,209 @@
+"""Rule-level tests for the flow analyzer, driven by the fixture tree.
+
+Every rule gets three kinds of coverage from ``flow_fixtures/``: a
+positive case (the defect is reported), a negative case (the clean
+variant stays silent), and a suppressed case (an inline
+``# repro: allow[...]`` waives it). The fixtures are analyzed, never
+imported.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.verify.flow import RULES, analyze
+from repro.verify.lint import lint_paths
+
+FIXTURES = Path(__file__).resolve().parent / "flow_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def symbols(findings) -> list[str]:
+    return [finding.symbol for finding in findings]
+
+
+def run(subdir: str, rule: str, **kwargs):
+    return analyze([FIXTURES / subdir], select=frozenset({rule}), **kwargs)
+
+
+class TestRecursionCycles:
+    def test_mutual_and_direct_cycles_reported(self) -> None:
+        findings = run("rec", "REPRO007")
+        assert symbols(findings) == ["direct.plain_recursive", "mutual.ping"]
+        assert all(finding.rule == "REPRO007" for finding in findings)
+
+    def test_cycle_message_names_both_members(self) -> None:
+        (finding,) = [
+            finding
+            for finding in run("rec", "REPRO007")
+            if finding.symbol == "mutual.ping"
+        ]
+        assert "mutual.ping" in finding.message
+        assert "mutual.pong" in finding.message
+
+    def test_iterative_function_is_clean(self) -> None:
+        assert not any("iterative" in sym for sym in symbols(run("rec", "REPRO007")))
+
+    def test_suppression_waives_the_cycle(self) -> None:
+        assert not any("waived" in sym for sym in symbols(run("rec", "REPRO007")))
+
+    def test_cross_module_cycle_via_imports(self) -> None:
+        findings = run("xmod", "REPRO007")
+        assert symbols(findings) == ["pkg.a.alpha"]
+        assert "pkg.b.beta" in findings[0].message
+
+    def test_lint_misses_mutual_recursion_flow_catches_it(self) -> None:
+        """The satellite contract: REPRO004 is the fast path of REPRO007.
+
+        The per-function lint rule sees no self-call in either half of
+        the mutual pair; the call-graph rule closes that gap.
+        """
+        mutual = FIXTURES / "rec" / "mutual.py"
+        assert lint_paths([mutual], select={"REPRO004"}) == []
+        assert len(analyze([mutual], select=frozenset({"REPRO007"}))) == 1
+
+    def test_lint_and_flow_agree_on_direct_recursion(self) -> None:
+        direct = FIXTURES / "rec" / "direct.py"
+        lint_findings = lint_paths([direct], select={"REPRO004"})
+        flow_findings = analyze([direct], select=frozenset({"REPRO007"}))
+        assert [error.code for error in lint_findings] == ["REPRO004"]
+        assert [finding.rule for finding in flow_findings] == ["REPRO007"]
+
+
+class TestDroppedDelta:
+    def test_bare_discard_and_dead_binding_reported(self) -> None:
+        findings = run("delta", "REPRO008")
+        assert symbols(findings) == [
+            "drops.drops_directly",
+            "drops.binds_and_forgets",
+            "script",
+        ]
+
+    def test_module_level_drop_reported(self) -> None:
+        (finding,) = [
+            finding
+            for finding in run("delta", "REPRO008")
+            if finding.symbol == "script"
+        ]
+        assert "script.burst" in finding.message
+
+    def test_consumers_are_clean(self) -> None:
+        clean = {"drops.consumes", "drops.binds_and_uses", "drops.branch_consumes"}
+        assert clean.isdisjoint(symbols(run("delta", "REPRO008")))
+
+    def test_suppression_waives_the_drop(self) -> None:
+        assert "drops.waived" not in symbols(run("delta", "REPRO008"))
+
+
+class TestMutatingTraversal:
+    def test_direct_and_helper_mutations_reported(self) -> None:
+        findings = run("traversal", "REPRO009")
+        assert symbols(findings) == [
+            "trie.mutates_during_walk",
+            "trie.mutates_via_helper",
+        ]
+
+    def test_helper_found_through_self_mutator_summary(self) -> None:
+        """helper_add is not in the mutator-name list; only the
+        transitive writes-self-attributes summary can flag it."""
+        (finding,) = [
+            finding
+            for finding in run("traversal", "REPRO009")
+            if finding.symbol == "trie.mutates_via_helper"
+        ]
+        assert "helper_add" in finding.message
+
+    def test_materialized_iteration_is_clean(self) -> None:
+        assert "trie.safe_materialized" not in symbols(run("traversal", "REPRO009"))
+
+    def test_suppression_waives_the_mutation(self) -> None:
+        assert "trie.waived" not in symbols(run("traversal", "REPRO009"))
+
+
+class TestTypestate:
+    def test_load_after_live_and_use_after_close_reported(self) -> None:
+        findings = run("typestate", "REPRO010")
+        assert symbols(findings) == [
+            "states.load_after_live_bad",
+            "states.use_after_close_bad",
+        ]
+
+    def test_messages_name_protocol_and_method(self) -> None:
+        by_symbol = {finding.symbol: finding for finding in run("typestate", "REPRO010")}
+        assert "SmaltaState" in by_symbol["states.load_after_live_bad"].message
+        assert "load" in by_symbol["states.load_after_live_bad"].message
+        assert "DownloadChannel" in by_symbol["states.use_after_close_bad"].message
+
+    def test_may_violation_stays_silent(self) -> None:
+        # close() on one branch only: the rule reports must-violations.
+        assert "states.branch_dependent" not in symbols(run("typestate", "REPRO010"))
+
+    def test_rebinding_resets_the_state(self) -> None:
+        assert "states.reopen_by_rebinding" not in symbols(run("typestate", "REPRO010"))
+
+    def test_suppression_waives_the_violation(self) -> None:
+        assert "states.waived" not in symbols(run("typestate", "REPRO010"))
+
+
+class TestSwallowedFailure:
+    def test_silent_and_bare_handlers_reported(self) -> None:
+        findings = run("swallow", "REPRO011")
+        assert symbols(findings) == [
+            "handlers.swallows_silently",
+            "handlers.swallows_bare",
+        ]
+
+    def test_reraise_log_and_propagate_are_clean(self) -> None:
+        clean = {"handlers.reraises", "handlers.logs", "handlers.propagates_object"}
+        assert clean.isdisjoint(symbols(run("swallow", "REPRO011")))
+
+    def test_unwatched_exception_is_ignored(self) -> None:
+        assert "handlers.unrelated_is_fine" not in symbols(run("swallow", "REPRO011"))
+
+    def test_suppression_waives_the_handler(self) -> None:
+        assert "handlers.waived" not in symbols(run("swallow", "REPRO011"))
+
+
+class TestMetricDrift:
+    def test_both_drift_directions_reported(self) -> None:
+        findings = run(
+            "metrics",
+            "REPRO012",
+            metrics_docs=[FIXTURES / "metrics" / "CATALOG.md"],
+        )
+        assert symbols(findings) == [
+            "fixture_ghost_total",
+            "fixture_undocumented_depth",
+        ]
+        ghost, undocumented = findings
+        assert ghost.path.endswith("CATALOG.md")
+        assert undocumented.path.endswith("code.py")
+
+    def test_matching_series_is_clean(self) -> None:
+        findings = run(
+            "metrics",
+            "REPRO012",
+            metrics_docs=[FIXTURES / "metrics" / "CATALOG.md"],
+        )
+        assert "fixture_ops_total" not in symbols(findings)
+
+
+class TestWholeRepo:
+    def test_repo_sources_are_flow_clean(self) -> None:
+        """The analyzer's own gate: src/repro + examples carry zero
+        findings (every genuine one was fixed, not baselined)."""
+        findings = analyze([REPO_ROOT / "src" / "repro", REPO_ROOT / "examples"])
+        assert findings == []
+
+    def test_rule_catalogue_is_complete(self) -> None:
+        assert sorted(RULES) == [
+            "REPRO007",
+            "REPRO008",
+            "REPRO009",
+            "REPRO010",
+            "REPRO011",
+            "REPRO012",
+        ]
+        for code, spec in RULES.items():
+            assert spec.name
+            assert spec.summary
