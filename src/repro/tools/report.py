@@ -50,7 +50,9 @@ EXPERIMENTS: dict[str, tuple[object, str]] = {
 
 
 def run_report(
-    names: list[str], emit: Callable[[str], None] = print
+    names: list[str],
+    emit: Callable[[str], None] = print,
+    clock: Callable[[], float] = time.perf_counter,
 ) -> dict[str, float]:
     """Run the named experiments, emitting their reports; returns
     per-experiment wall-clock seconds."""
@@ -61,9 +63,9 @@ def run_report(
     for name in names:
         module, description = EXPERIMENTS[name]
         emit(f"\n## {name} — {description}\n")
-        started = time.perf_counter()
+        started = clock()
         result = module.run()
-        durations[name] = time.perf_counter() - started
+        durations[name] = clock() - started
         emit("```")
         emit(module.format_result(result))
         emit("```")

@@ -2,7 +2,7 @@
 
 The paper reports that the authors "automatically computed the
 correctness of millions of updated aggregated tables"; this package is
-that machinery, grown into four layers:
+that machinery, grown into five layers:
 
 - :mod:`repro.verify.invariants` — a structural auditor that walks the
   OT/AT union trie once and checks the bookkeeping invariants the
@@ -28,7 +28,16 @@ that machinery, grown into four layers:
   rules REPRO007–REPRO012 (recursion cycles, dropped ``@must_consume``
   deltas, mutation during live traversals, typestate protocols,
   swallowed failures, metric-catalog drift). REPRO004 in the lint layer
-  is its single-function fast-path alias.
+  is its single-function fast-path alias;
+- :mod:`repro.verify.effects` — the concurrency-readiness analyzer
+  (``python -m repro.verify.effects src/repro examples``): bottom-up
+  interprocedural effect/purity inference over the same call graph,
+  running rules REPRO013–REPRO017 (blocking-in-async, determinism-seam
+  bypass, shard-escape, un-picklable captures, impure snapshot paths).
+
+The three static layers share a single parse pass and a content-hash
+incremental cache (``.repro-cache/``), and run combined as
+``python -m repro.verify`` with one merged report.
 
 See ``docs/VERIFICATION.md`` for the full invariant and rule catalogue.
 """

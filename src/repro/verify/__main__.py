@@ -1,0 +1,8 @@
+"""``python -m repro.verify`` entry point (the combined run)."""
+
+import sys
+
+from repro.verify.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,325 @@
+"""The umbrella front end: ``python -m repro.verify``.
+
+One invocation runs all three static passes — lint (REPRO001-006), flow
+(REPRO007-012), effects (REPRO013-017) — over a *single* parse of the
+repo: the shared :func:`repro.verify.config.load_sources` pass feeds
+every analyzer, and the :class:`~repro.verify.cache.AnalysisCache`
+makes warm reruns skip unchanged files entirely.
+
+The per-pass entry points (``python -m repro.verify.lint`` /
+``.flow`` / ``.effects``) stay available as thin aliases; this CLI is
+what CI and pre-commit run. Exit contract: **0** clean, **1** new
+findings, **2** usage error.
+
+``--diff BASE`` is the pull-request fast mode: findings are restricted
+to the files changed since ``BASE`` plus every module that (transitively)
+imports one of them — whole-program analysis still sees the full
+project, so cross-file rules stay sound; only the *reporting* scope
+narrows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.verify import lint as lint_mod
+from repro.verify.cache import AnalysisCache
+from repro.verify.config import default_cache, find_repo_root, load_sources
+from repro.verify.effects.cli import BASELINE_NAME as EFFECTS_BASELINE_NAME
+from repro.verify.effects.rules import RULES as EFFECT_RULES
+from repro.verify.effects.rules import analyze_effects
+from repro.verify.flow.callgraph import CallGraph
+from repro.verify.flow.cli import BASELINE_NAME as FLOW_BASELINE_NAME
+from repro.verify.flow.project import Project
+from repro.verify.flow.report import (
+    Finding,
+    load_baseline,
+    relativize,
+    render_json,
+    render_sarif,
+    render_text,
+    write_baseline,
+)
+from repro.verify.flow.rules import RULES as FLOW_RULES
+from repro.verify.flow.rules import analyze as flow_analyze
+
+#: Default analysis roots, relative to the repo root.
+DEFAULT_ROOTS = ("src/repro", "examples")
+
+LINT_CODES = frozenset(lint_mod.RULES)
+FLOW_CODES = frozenset(FLOW_RULES)
+EFFECT_CODES = frozenset(EFFECT_RULES)
+ALL_CODES = LINT_CODES | FLOW_CODES | EFFECT_CODES
+
+
+def rule_index() -> dict[str, str]:
+    """Merged code -> one-line summary across all three passes."""
+    merged = dict(lint_mod.RULES)
+    merged.update({code: spec.summary for code, spec in FLOW_RULES.items()})
+    merged.update({code: spec.summary for code, spec in EFFECT_RULES.items()})
+    return merged
+
+
+def _lint_findings(
+    errors: Sequence[lint_mod.LintError],
+    module_names: dict[str, str],
+    root: Optional[Path],
+) -> list[Finding]:
+    """Lift lint diagnostics into the flow layer's Finding model, so the
+    merged report shares one fingerprint/baseline/SARIF pipeline."""
+    findings = []
+    for error in errors:
+        rel = relativize(Path(error.path), root)
+        findings.append(
+            Finding(
+                error.code,
+                rel,
+                error.line,
+                module_names.get(error.path, rel),
+                error.message,
+            )
+        )
+    return findings
+
+
+def _changed_files(root: Path, base: str) -> Optional[set[str]]:
+    """Repo-relative paths changed since ``base`` (None when git fails)."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", base, "--", "*.py"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return {line.strip() for line in proc.stdout.splitlines() if line.strip()}
+
+
+def diff_scope(
+    project: Project, root: Path, changed: set[str]
+) -> set[str]:
+    """``changed`` plus every module that transitively imports one.
+
+    The reverse import graph is the dependency cone a change can
+    invalidate: whole-program findings outside it cannot have been
+    introduced by the diff.
+    """
+    path_to_module: dict[str, str] = {}
+    for name, module in project.modules.items():
+        path_to_module[relativize(module.path, root)] = name
+    known = set(project.modules)
+    # module -> modules that import it (edges point importee -> importer)
+    reverse: dict[str, set[str]] = {name: set() for name in known}
+    for name, module in project.modules.items():
+        for target in module.imports.values():
+            # A from-import target may be module.symbol; peel trailing
+            # parts until a known module matches.
+            candidate = target
+            while candidate and candidate not in known:
+                if "." not in candidate:
+                    candidate = ""
+                else:
+                    candidate = candidate.rsplit(".", 1)[0]
+            if candidate and candidate != name:
+                reverse[candidate].add(name)
+    seeds = {path_to_module[p] for p in changed if p in path_to_module}
+    worklist = list(seeds)
+    reached = set(seeds)
+    while worklist:
+        current = worklist.pop()
+        for importer in reverse.get(current, ()):
+            if importer not in reached:
+                reached.add(importer)
+                worklist.append(importer)
+    scope = set(changed)
+    for name in reached:
+        scope.add(relativize(project.modules[name].path, root))
+    return scope
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description=(
+            "Combined SMALTA static verification: lint (REPRO001-006) + "
+            "flow (REPRO007-012) + effects (REPRO013-017) over a single "
+            "shared parse pass with an incremental content-hash cache."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files or directories (default: {' '.join(DEFAULT_ROOTS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="write the report here"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes from any pass (default: all)",
+    )
+    parser.add_argument(
+        "--diff",
+        metavar="BASE",
+        default=None,
+        help="fast mode: only report findings in files changed since the "
+        "given git ref, plus modules that transitively import them",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current flow/effects findings into their baseline "
+        "files and exit 0 (lint has no baseline: fix or # noqa)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache hit/miss statistics to stderr",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def _resolve_paths(args_paths: Sequence[Path]) -> list[Path]:
+    if len(args_paths) > 0:
+        return list(args_paths)
+    root = find_repo_root(Path.cwd()) or Path.cwd()
+    return [root / rel for rel in DEFAULT_ROOTS if (root / rel).exists()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    index = rule_index()
+    if args.list_rules:
+        for code in sorted(index):
+            print(f"{code}  {index[code]}")
+        return 0
+    paths = _resolve_paths(args.paths)
+    if len(paths) == 0:
+        parser.error("no paths given and no default roots found")
+    for path in paths:
+        if not path.exists():
+            parser.error(f"no such path: {path}")
+    select: Optional[frozenset[str]] = None
+    if args.select is not None:
+        select = frozenset(
+            code.strip() for code in args.select.split(",") if code.strip()
+        )
+        unknown = select - ALL_CODES
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    root = find_repo_root(paths[0])
+    cache: Optional[AnalysisCache] = default_cache(paths)
+
+    # -- one parse pass, one symbol table, shared by all three passes ----
+    sources = load_sources(paths, cache)
+    project = Project.load(paths, sources=sources, cache=cache)
+    graph = CallGraph.build(project)
+    module_names = {str(s.path): s.name for s in sources}
+
+    findings: list[Finding] = []
+    run_lint = select is None or bool(select & LINT_CODES)
+    run_flow = select is None or bool(select & FLOW_CODES)
+    run_effects = select is None or bool(select & EFFECT_CODES)
+    if run_lint and not args.write_baseline:
+        lint_select = set(select & LINT_CODES) if select is not None else None
+        errors = lint_mod.lint_paths(
+            paths, select=lint_select, sources=sources, cache=cache
+        )
+        findings.extend(_lint_findings(errors, module_names, root))
+    flow_findings: list[Finding] = []
+    effect_findings: list[Finding] = []
+    if run_flow:
+        flow_findings = flow_analyze(
+            paths,
+            select=(select & FLOW_CODES) if select is not None else None,
+            sources=sources,
+            cache=cache,
+            project=project,
+            graph=graph,
+        )
+    if run_effects:
+        effect_findings = analyze_effects(
+            paths,
+            select=(select & EFFECT_CODES) if select is not None else None,
+            sources=sources,
+            cache=cache,
+            project=project,
+            graph=graph,
+        )
+
+    if args.write_baseline:
+        base = root or Path.cwd()
+        write_baseline(base / FLOW_BASELINE_NAME, flow_findings)
+        write_baseline(base / EFFECTS_BASELINE_NAME, effect_findings)
+        print(
+            f"wrote {len(flow_findings)} flow and {len(effect_findings)} "
+            f"effects fingerprint(s) under {base}"
+        )
+        return 0
+
+    # -- subtract the checked-in baselines (kept empty by policy) --------
+    if root is not None:
+        flow_known = load_baseline(root / FLOW_BASELINE_NAME)
+        effects_known = load_baseline(root / EFFECTS_BASELINE_NAME)
+        flow_findings = [
+            f for f in flow_findings if f.fingerprint() not in flow_known
+        ]
+        effect_findings = [
+            f for f in effect_findings if f.fingerprint() not in effects_known
+        ]
+    findings.extend(flow_findings)
+    findings.extend(effect_findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    if args.diff is not None and root is not None:
+        changed = _changed_files(root, args.diff)
+        if changed is None:
+            print(
+                f"warning: git diff against {args.diff!r} failed; "
+                "running in full mode",
+                file=sys.stderr,
+            )
+        else:
+            scope = diff_scope(project, root, changed)
+            findings = [f for f in findings if f.path in scope]
+            print(
+                f"diff mode: {len(changed)} changed file(s), "
+                f"{len(scope)} in reporting scope",
+                file=sys.stderr,
+            )
+
+    if args.format == "text":
+        rendered = render_text(findings)
+    elif args.format == "json":
+        rendered = render_json(findings)
+    else:
+        rendered = render_sarif(findings, index)
+    if args.output is not None:
+        args.output.write_text(rendered, encoding="utf-8")
+    else:
+        sys.stdout.write(rendered)
+    if args.stats and cache is not None:
+        print(cache.stats(), file=sys.stderr)
+    return 1 if len(findings) > 0 else 0

@@ -11,8 +11,12 @@ flow engine import it without dragging the lint visitor along.
 
 from __future__ import annotations
 
+import ast
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence
+
+from repro.verify.cache import AnalysisCache, content_key
 
 #: Packages (under ``repro/``) whose public functions must be fully
 #: annotated (lint rule REPRO005) — the ``mypy --strict`` floor.
@@ -99,6 +103,74 @@ def find_repo_root(start: Path) -> Optional[Path]:
         if current.parent == current:
             return None
         current = current.parent
+
+
+@dataclass
+class SourceFile:
+    """One file read and parsed exactly once, shared by every pass.
+
+    ``digest`` is the cache key of the content (see
+    :func:`repro.verify.cache.content_key`); per-file artifacts derived
+    downstream (lint findings, effect summaries) key off it so they
+    survive between runs while the content does.
+    """
+
+    path: Path
+    name: str  #: dotted module name (structural inference)
+    text: str
+    tree: ast.Module
+    lines: list[str]
+    digest: str
+
+
+def load_sources(
+    paths: Sequence[Path], cache: Optional[AnalysisCache] = None
+) -> list[SourceFile]:
+    """Read and parse every file under ``paths`` exactly once.
+
+    This is the single parse pass the lint, flow, and effects front
+    ends all consume — handing the returned list to each of them means
+    one combined run touches each file's bytes once. With a ``cache``,
+    parsed ASTs are reused across *runs* as well: an unchanged file's
+    tree is unpickled instead of re-parsed, and a changed file misses
+    (content hash) and is parsed fresh.
+    """
+    sources: list[SourceFile] = []
+    for path in collect_files(paths):
+        text = path.read_text(encoding="utf-8")
+        digest = content_key(text)
+        tree: Optional[ast.Module] = None
+        if cache is not None:
+            cached = cache.load("ast", digest)
+            if isinstance(cached, ast.Module):
+                tree = cached
+        if tree is None:
+            try:
+                tree = ast.parse(text, filename=str(path))
+            except SyntaxError as exc:
+                raise SystemExit(f"{path}: syntax error: {exc}") from exc
+            if cache is not None:
+                cache.store("ast", digest, tree)
+        sources.append(
+            SourceFile(
+                path=path,
+                name=module_name(path),
+                text=text,
+                tree=tree,
+                lines=text.splitlines(),
+                digest=digest,
+            )
+        )
+    return sources
+
+
+def default_cache(paths: Sequence[Path]) -> Optional[AnalysisCache]:
+    """The repo's ``.repro-cache`` for the scan roots, if locatable."""
+    for path in paths:
+        root = find_repo_root(path)
+        if root is not None:
+            return AnalysisCache.for_root(root)
+    return None
 
 
 #: Markdown files whose tables catalog the repo's metric series.

@@ -1,0 +1,8 @@
+"""``python -m repro.verify.effects`` entry point."""
+
+import sys
+
+from repro.verify.effects.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

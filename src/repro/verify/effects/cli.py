@@ -1,8 +1,9 @@
-"""Command-line front end: ``python -m repro.verify.flow``.
+"""Command-line front end: ``python -m repro.verify.effects``.
 
-Exit codes form the CI contract: **0** clean (or everything baselined /
-suppressed), **1** at least one new finding, **2** usage error (bad
-flag, missing path — argparse's own convention).
+Same contract as the flow CLI: exit **0** clean (or baselined /
+suppressed), **1** new findings, **2** usage error. The checked-in
+baseline lives at ``<repo root>/.effects-baseline.json`` and is kept
+empty by policy — fix findings, don't bury them.
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.verify.config import default_cache, find_repo_root
+from repro.verify.effects.rules import RULES, analyze_effects
 from repro.verify.flow.report import (
     Finding,
     load_baseline,
@@ -21,22 +23,19 @@ from repro.verify.flow.report import (
     render_text,
     write_baseline,
 )
-from repro.verify.flow.rules import RULES, analyze
 
 #: File name of the checked-in baseline at the repo root.
-BASELINE_NAME = ".flow-baseline.json"
+BASELINE_NAME = ".effects-baseline.json"
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.verify.flow",
+        prog="python -m repro.verify.effects",
         description=(
-            "SMALTA whole-program flow analysis (rules REPRO007-REPRO012): "
-            "call-graph recursion cycles, dropped @must_consume deltas, "
-            "mutation during live traversals, typestate protocols, "
-            "swallowed failures, metric-catalog drift. REPRO004 in "
-            "repro.verify.lint is the single-function fast-path alias of "
-            "REPRO007."
+            "SMALTA concurrency-readiness analysis (rules REPRO013-"
+            "REPRO017): interprocedural effect/purity inference powering "
+            "async-safety, determinism-seam, shard-escape, pickling, and "
+            "snapshot-purity checks."
         ),
     )
     parser.add_argument("paths", nargs="*", type=Path, help="files or directories")
@@ -64,14 +63,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="record current findings as tolerated and exit 0",
-    )
-    parser.add_argument(
-        "--metrics-doc",
-        type=Path,
-        action="append",
-        default=None,
-        help="metric catalog markdown (repeatable; default: the repo's "
-        "docs/OBSERVABILITY.md + docs/RESILIENCE.md)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
@@ -111,15 +102,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         unknown = select - set(RULES)
         if unknown:
             parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
-    if args.metrics_doc is not None:
-        for doc in args.metrics_doc:
-            if not doc.exists():
-                parser.error(f"no such metrics doc: {doc}")
-    findings = analyze(
-        args.paths,
-        select=select,
-        metrics_docs=args.metrics_doc,
-        cache=default_cache(args.paths),
+    findings = analyze_effects(
+        args.paths, select=select, cache=default_cache(args.paths)
     )
     baseline_path = args.baseline or _default_baseline(args.paths)
     if args.write_baseline:

@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Sequence
 
-from repro.verify.config import collect_files, module_name
+from repro.verify.cache import AnalysisCache
+from repro.verify.config import SourceFile, load_sources
 
 
 @dataclass
@@ -147,18 +148,25 @@ class Project:
     # -- construction ----------------------------------------------------
 
     @classmethod
-    def load(cls, paths: Sequence[Path]) -> "Project":
-        """Parse every file under ``paths`` and build the symbol table."""
+    def load(
+        cls,
+        paths: Sequence[Path],
+        sources: Optional[Sequence[SourceFile]] = None,
+        cache: Optional[AnalysisCache] = None,
+    ) -> "Project":
+        """Build the symbol table from every file under ``paths``.
+
+        ``sources`` (from :func:`repro.verify.config.load_sources`)
+        lets a combined run share one parse pass across lint, flow, and
+        effects; otherwise the files are loaded here, optionally through
+        the content-hash ``cache``.
+        """
         project = cls()
-        for path in collect_files(paths):
-            text = path.read_text(encoding="utf-8")
-            try:
-                tree = ast.parse(text, filename=str(path))
-            except SyntaxError as exc:
-                raise SystemExit(f"{path}: syntax error: {exc}") from exc
-            name = module_name(path)
-            module = ModuleInfo(name, path, tree, text.splitlines())
-            project.modules[name] = module
+        if sources is None:
+            sources = load_sources(paths, cache)
+        for source in sources:
+            module = ModuleInfo(source.name, source.path, source.tree, source.lines)
+            project.modules[module.name] = module
         for module in project.modules.values():
             project._index_module(module)
         for module in project.modules.values():

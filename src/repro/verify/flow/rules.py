@@ -21,7 +21,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Sequence
 
-from repro.verify.config import default_metrics_docs, find_repo_root
+from repro.verify.cache import AnalysisCache
+from repro.verify.config import SourceFile, default_metrics_docs, find_repo_root
 from repro.verify.flow.callgraph import (
     CallGraph,
     build_type_env,
@@ -730,14 +731,24 @@ def analyze(
     paths: Sequence[Path],
     select: Optional[frozenset[str]] = None,
     metrics_docs: Optional[Sequence[Path]] = None,
+    sources: Optional[Sequence[SourceFile]] = None,
+    cache: Optional[AnalysisCache] = None,
+    project: Optional[Project] = None,
+    graph: Optional[CallGraph] = None,
 ) -> list[Finding]:
     """Run the (selected) rules over ``paths`` and return raw findings.
 
     Inline ``# repro: allow[...]`` suppressions are already subtracted;
-    baseline subtraction is the CLI's job.
+    baseline subtraction is the CLI's job. ``sources``/``cache`` plug
+    the shared parse pass and the content-hash cache in (see
+    :mod:`repro.verify.config` and :mod:`repro.verify.cache`); a
+    combined run may additionally hand in the resolved ``project`` and
+    ``graph`` so symbol resolution happens once across all passes.
     """
-    project = Project.load(paths)
-    graph = CallGraph.build(project)
+    if project is None:
+        project = Project.load(paths, sources=sources, cache=cache)
+    if graph is None:
+        graph = CallGraph.build(project)
     explicit = metrics_docs is not None
     docs = list(metrics_docs) if metrics_docs is not None else default_metrics_docs(paths)
     root = find_repo_root(paths[0]) if len(paths) > 0 else None

@@ -45,7 +45,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
-from repro.verify.config import ANNOTATED_PACKAGES, collect_files, package_parts
+from repro.verify.cache import AnalysisCache, content_key
+from repro.verify.config import (
+    ANNOTATED_PACKAGES,
+    SourceFile,
+    default_cache,
+    load_sources,
+    package_parts,
+)
 
 RULES: dict[str, str] = {
     "REPRO001": "node class must declare __slots__",
@@ -380,29 +387,43 @@ def _waived(source_lines: list[str], error: LintError) -> bool:
 
 
 def lint_paths(
-    paths: Sequence[Path], select: Optional[set[str]] = None
+    paths: Sequence[Path],
+    select: Optional[set[str]] = None,
+    sources: Optional[Sequence[SourceFile]] = None,
+    cache: Optional[AnalysisCache] = None,
 ) -> list[LintError]:
-    """Lint every Python file under ``paths``; returns surviving findings."""
-    files = collect_files(paths)
-    sources: dict[Path, str] = {}
-    trees: dict[Path, ast.Module] = {}
-    for path in files:
-        text = path.read_text(encoding="utf-8")
-        try:
-            trees[path] = ast.parse(text, filename=str(path))
-        except SyntaxError as exc:
-            raise SystemExit(f"{path}: syntax error: {exc}") from exc
-        sources[path] = text
-    len_classes = collect_len_classes(trees.values())
+    """Lint every Python file under ``paths``; returns surviving findings.
+
+    ``sources`` lets a combined run (``python -m repro.verify``) hand in
+    the files it already parsed, so lint adds no second parse pass. A
+    ``cache`` additionally reuses per-file findings across runs: the key
+    covers the file content, its path, and the repo-wide set of
+    ``__len__``-bearing class names REPRO006 depends on, so any input
+    that could change a finding also changes the key.
+    """
+    if sources is None:
+        sources = load_sources(paths, cache)
+    len_classes = collect_len_classes(sf.tree for sf in sources)
+    len_digest = content_key(",".join(sorted(len_classes)))
     errors: list[LintError] = []
-    for path, tree in trees.items():
-        linter = _FileLinter(path, tree, len_classes)
-        linter.visit(tree)
-        lines = sources[path].splitlines()
-        for error in linter.errors:
+    for source in sources:
+        raw: Optional[list[LintError]] = None
+        key = ""
+        if cache is not None:
+            key = content_key(source.text, "lint", str(source.path), len_digest)
+            cached = cache.load("lint", key)
+            if isinstance(cached, list):
+                raw = cached
+        if raw is None:
+            linter = _FileLinter(source.path, source.tree, len_classes)
+            linter.visit(source.tree)
+            raw = linter.errors
+            if cache is not None:
+                cache.store("lint", key, raw)
+        for error in raw:
             if select is not None and error.code not in select:
                 continue
-            if not _waived(lines, error):
+            if not _waived(source.lines, error):
                 errors.append(error)
     return errors
 
@@ -412,7 +433,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.verify.lint",
         description="SMALTA repo-specific lint rules (REPRO001-REPRO006).",
     )
-    parser.add_argument("paths", nargs="+", type=Path, help="files or directories")
+    parser.add_argument("paths", nargs="*", type=Path, help="files or directories")
     parser.add_argument(
         "--select",
         help="comma-separated rule codes to enable (default: all)",
@@ -425,12 +446,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for code, description in sorted(RULES.items()):
             print(f"{code}: {description}")
         return 0
+    if len(options.paths) == 0:
+        parser.error("at least one path is required")
     select = (
         {code.strip() for code in options.select.split(",")}
         if options.select
         else None
     )
-    errors = lint_paths(options.paths, select)
+    errors = lint_paths(options.paths, select, cache=default_cache(options.paths))
     for error in sorted(errors, key=lambda e: (e.path, e.line, e.col)):
         print(error)
     if errors:

@@ -1,0 +1,30 @@
+"""REPRO013 fixtures: blocking work reachable from async defs."""
+
+import asyncio
+import subprocess
+import time
+
+
+async def poll_direct():
+    time.sleep(0.5)  # blocks the loop right here
+
+
+def _spawn_helper(cmd):
+    return subprocess.run(cmd)
+
+
+async def fetch_transitive():
+    return _spawn_helper(["true"])
+
+
+async def awaits_properly():
+    await asyncio.sleep(0.5)
+    return 1
+
+
+def sync_sleeper():
+    time.sleep(0.1)  # sync code may block; REPRO013 stays silent
+
+
+async def waived():
+    time.sleep(0.2)  # repro: allow[REPRO013]

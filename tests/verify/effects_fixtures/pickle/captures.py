@@ -1,0 +1,42 @@
+"""REPRO016 fixtures: callables handed to pickling executor seams."""
+
+from multiprocessing import Process
+
+
+def module_level_work(x):
+    return x + 1
+
+
+def lambda_to_pool(pool, items):
+    return pool.map(lambda x: x + 1, items)
+
+
+def closure_to_executor(executor):
+    def work():
+        return 1
+
+    return executor.submit(work)
+
+
+def lambda_to_apply_async(pool):
+    return pool.apply_async(lambda: 2)
+
+
+def process_target():
+    return Process(target=lambda: 3)
+
+
+def module_fn_is_fine(executor, items):
+    return executor.submit(module_level_work, items)
+
+
+def thread_pools_do_not_pickle(thread_pool):
+    return thread_pool.submit(lambda: 4)
+
+
+def plain_map_is_not_a_seam(items):
+    return list(map(lambda x: x, items))
+
+
+def waived(pool):
+    return pool.submit(lambda: 5)  # repro: allow[REPRO016]

@@ -1,0 +1,40 @@
+"""REPRO014 fixtures: determinism-seam bypasses and blessed idioms."""
+
+import random
+import time
+
+
+def measures_wall_clock():
+    started = time.perf_counter()
+    return started
+
+
+def draws_global_rng(items):
+    return random.choice(items)
+
+
+def builds_unseeded():
+    return random.Random()
+
+
+def builds_seeded(seed):
+    return random.Random(seed)  # seeded construction is the seam itself
+
+
+def injected_clock(clock=time.perf_counter):
+    # The default is a *reference*, not a call: the blessed seam.
+    return clock()
+
+
+def threads_rng(rng, items):
+    # rng: a seeded random.Random parameter — attribute calls on a
+    # local name never match the module table.
+    return rng.choice(items)
+
+
+def shadowed(random):
+    return random.choice([1, 2])
+
+
+def waived_read():
+    return time.monotonic()  # repro: allow[REPRO014]

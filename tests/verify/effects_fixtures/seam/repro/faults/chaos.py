@@ -1,0 +1,9 @@
+"""Blessed-seam fixture: this file *is* the determinism seam (it lives
+under a ``repro/faults`` package), so raw clock/RNG use is allowed."""
+
+import random
+import time
+
+
+def jitter():
+    return random.random() * time.time()

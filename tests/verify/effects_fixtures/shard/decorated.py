@@ -1,0 +1,23 @@
+"""REPRO015 via the ``@shard_entry`` decorator instead of a class."""
+
+
+def shard_entry(func):
+    return func
+
+
+ROUTE_CACHE: dict = {}
+
+
+@shard_entry
+def ingest(update):
+    ROUTE_CACHE[update] = True
+
+
+@shard_entry
+def flush():
+    ROUTE_CACHE.clear()
+
+
+def helper_only(update):
+    # reachable from no second entry point: not an escape by itself
+    ROUTE_CACHE.pop(update, None)

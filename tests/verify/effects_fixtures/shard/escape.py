@@ -1,0 +1,31 @@
+"""REPRO015 fixtures: module state written from multiple shard entries."""
+
+SHARED_INDEX: dict = {}
+SINGLE_WRITER_LOG: list = []
+WAIVED_POOL: set = set()  # repro: allow[REPRO015]
+FROZEN = ("a", "b")
+
+
+class SmaltaManager:
+    def __init__(self):
+        self._local = {}
+
+    def apply(self, update):
+        SHARED_INDEX[update] = 1  # written from entry point #1
+        self._local[update] = 1
+
+    def snapshot_now(self):
+        SHARED_INDEX.clear()  # written from entry point #2
+        WAIVED_POOL.add("snap")
+        return dict(self._local)
+
+    def end_of_rib(self):
+        WAIVED_POOL.add("eor")
+
+    def _internal(self):
+        # private helpers are not entry points on their own
+        SINGLE_WRITER_LOG.append("x")
+
+    def audits_run(self):
+        self._internal()
+        return len(SINGLE_WRITER_LOG)

@@ -1,0 +1,13 @@
+"""REPRO017 negative fixtures: a pure snapshot path stays silent."""
+
+
+def _collapse(entries):
+    return {k: v for k, v in entries if v is not None}
+
+
+def snapshot_now(state):
+    return _collapse(sorted(state.items()))
+
+
+def unrelated_name(state):
+    print(state)  # impure, but not on the snapshot path

@@ -1,0 +1,10 @@
+"""REPRO017 suppressed fixture."""
+
+
+def _audit(msg):
+    print(msg)
+
+
+def snapshot(state):  # repro: allow[REPRO017]
+    _audit("blessed: audit output is part of the snapshot contract")
+    return dict(state)

@@ -1,0 +1,145 @@
+"""Unit tests for the content-hash analysis cache and the shared
+single-parse source loader."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.verify.cache import (
+    CACHE_DIR_NAME,
+    DISABLE_ENV,
+    AnalysisCache,
+    content_key,
+)
+from repro.verify.config import load_sources
+
+
+class TestContentKey:
+    def test_deterministic(self) -> None:
+        assert content_key("x") == content_key("x")
+
+    def test_content_sensitivity(self) -> None:
+        assert content_key("x") != content_key("y")
+
+    def test_extra_parts_change_the_key(self) -> None:
+        assert content_key("x") != content_key("x", "lint")
+        assert content_key("x", "lint") != content_key("x", "effects")
+
+    def test_part_boundaries_are_unambiguous(self) -> None:
+        # NUL separators: ("ab", "c") must not collide with ("a", "bc").
+        assert content_key("t", "ab", "c") != content_key("t", "a", "bc")
+
+    def test_key_is_hex_sha256(self) -> None:
+        key = content_key("anything")
+        assert len(key) == 64
+        int(key, 16)
+
+
+class TestAnalysisCache:
+    def test_roundtrip(self, tmp_path) -> None:
+        cache = AnalysisCache(tmp_path)
+        cache.store("ast", "k1", {"a": (1, 2)})
+        fresh = AnalysisCache(tmp_path)
+        assert fresh.load("ast", "k1") == {"a": (1, 2)}
+        assert fresh.hits == 1 and fresh.misses == 0
+
+    def test_absent_entry_is_a_miss(self, tmp_path) -> None:
+        cache = AnalysisCache(tmp_path)
+        assert cache.load("ast", "nope") is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path) -> None:
+        cache = AnalysisCache(tmp_path)
+        cache.store("lint", "k", [1, 2, 3])
+        entry = tmp_path / "lint" / "k.pkl"
+        entry.write_bytes(b"not a pickle")
+        assert AnalysisCache(tmp_path).load("lint", "k") is None
+
+    def test_truncated_pickle_degrades_to_miss(self, tmp_path) -> None:
+        cache = AnalysisCache(tmp_path)
+        cache.store("lint", "k", list(range(100)))
+        entry = tmp_path / "lint" / "k.pkl"
+        entry.write_bytes(entry.read_bytes()[:10])
+        assert AnalysisCache(tmp_path).load("lint", "k") is None
+
+    def test_store_leaves_no_temp_files(self, tmp_path) -> None:
+        cache = AnalysisCache(tmp_path)
+        cache.store("effects", "k", (1,))
+        names = [p.name for p in (tmp_path / "effects").iterdir()]
+        assert names == ["k.pkl"]
+
+    def test_store_failure_is_non_fatal(self, tmp_path) -> None:
+        # The cache "directory" is actually a file: every mkdir/write
+        # under it fails, which must degrade to a cold cache, not raise.
+        blocker = tmp_path / "blocked"
+        blocker.write_text("in the way", encoding="utf-8")
+        cache = AnalysisCache(blocker)
+        cache.store("ast", "k", 1)  # must not raise
+        assert cache.load("ast", "k") is None
+
+    def test_for_root_respects_disable_env(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        assert AnalysisCache.for_root(tmp_path) is None
+        monkeypatch.delenv(DISABLE_ENV)
+        cache = AnalysisCache.for_root(tmp_path)
+        assert cache is not None
+        assert cache.directory == tmp_path / CACHE_DIR_NAME
+
+    def test_stats_line(self, tmp_path) -> None:
+        cache = AnalysisCache(tmp_path)
+        cache.load("ast", "missing")
+        cache.store("ast", "k", 1)
+        cache.load("ast", "k")
+        assert cache.stats() == "cache: 1 hit(s), 1 miss(es) of 2"
+
+
+class TestLoadSources:
+    def test_each_file_parsed_once_with_metadata(self, tmp_path) -> None:
+        (tmp_path / "mod.py").write_text("X = 1\n", encoding="utf-8")
+        (source,) = load_sources([tmp_path])
+        assert source.name == "mod"
+        assert source.text == "X = 1\n"
+        assert source.lines == ["X = 1"]
+        assert source.digest == content_key("X = 1\n")
+
+    def test_ast_round_trips_through_the_cache(self, tmp_path) -> None:
+        src = tmp_path / "proj"
+        src.mkdir()
+        (src / "mod.py").write_text("def f():\n    return 1\n", encoding="utf-8")
+        cache = AnalysisCache(tmp_path / "cache")
+        load_sources([src], cache)
+        warm = AnalysisCache(tmp_path / "cache")
+        (warm_source,) = load_sources([src], warm)
+        assert warm.hits == 1 and warm.misses == 0
+        assert warm_source.tree.body[0].name == "f"
+
+    def test_changed_file_misses_and_reparses(self, tmp_path) -> None:
+        src = tmp_path / "proj"
+        src.mkdir()
+        target = src / "mod.py"
+        target.write_text("X = 1\n", encoding="utf-8")
+        cache = AnalysisCache(tmp_path / "cache")
+        load_sources([src], cache)
+        target.write_text("X = 2\n", encoding="utf-8")
+        warm = AnalysisCache(tmp_path / "cache")
+        (source,) = load_sources([src], warm)
+        assert warm.misses == 1
+        assert source.tree.body[0].value.value == 2
+
+    def test_syntax_error_is_a_clean_exit(self, tmp_path) -> None:
+        (tmp_path / "bad.py").write_text("def f(:\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            load_sources([tmp_path])
+
+    def test_cached_entries_are_plain_pickles(self, tmp_path) -> None:
+        src = tmp_path / "proj"
+        src.mkdir()
+        (src / "mod.py").write_text("X = 1\n", encoding="utf-8")
+        cache = AnalysisCache(tmp_path / "cache")
+        (source,) = load_sources([src], cache)
+        entry = tmp_path / "cache" / "ast" / f"{source.digest}.pkl"
+        assert entry.exists()
+        tree = pickle.loads(entry.read_bytes())
+        assert tree.body[0].targets[0].id == "X"

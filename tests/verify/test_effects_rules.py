@@ -1,0 +1,190 @@
+"""Rule-level tests for the effects analyzer, driven by the fixture tree.
+
+Mirrors ``test_flow_rules.py``: every rule gets a positive case, a
+negative (clean-variant) case, and a suppressed case from
+``effects_fixtures/``. Fixtures are analyzed, never imported.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.verify.effects import RULES, analyze_effects
+
+FIXTURES = Path(__file__).resolve().parent / "effects_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def symbols(findings) -> list[str]:
+    return [finding.symbol for finding in findings]
+
+
+def run(subdir: str, rule: str):
+    return analyze_effects([FIXTURES / subdir], select=frozenset({rule}))
+
+
+class TestBlockingInAsync:
+    def test_direct_and_transitive_blocking_reported(self) -> None:
+        findings = run("asyncio", "REPRO013")
+        assert "blocking.poll_direct" in symbols(findings)
+        assert "blocking.fetch_transitive" in symbols(findings)
+
+    def test_transitive_message_names_the_route(self) -> None:
+        (finding,) = [
+            f
+            for f in run("asyncio", "REPRO013")
+            if f.symbol == "blocking.fetch_transitive"
+        ]
+        assert "via blocking._spawn_helper" in finding.message
+        assert "subprocess.run" in finding.message
+
+    def test_awaiting_async_code_is_clean(self) -> None:
+        assert "blocking.awaits_properly" not in symbols(run("asyncio", "REPRO013"))
+
+    def test_sync_sleeper_is_clean(self) -> None:
+        assert "blocking.sync_sleeper" not in symbols(run("asyncio", "REPRO013"))
+
+    def test_suppression_waives_the_block(self) -> None:
+        assert "blocking.waived" not in symbols(run("asyncio", "REPRO013"))
+
+
+class TestSeamBypass:
+    def test_clock_rng_and_unseeded_random_reported(self) -> None:
+        reported = symbols(run("seam", "REPRO014"))
+        assert "bypass.measures_wall_clock" in reported
+        assert "bypass.draws_global_rng" in reported
+        assert "bypass.builds_unseeded" in reported
+
+    def test_seeded_construction_is_clean(self) -> None:
+        assert "bypass.builds_seeded" not in symbols(run("seam", "REPRO014"))
+
+    def test_injected_clock_default_is_the_blessed_seam(self) -> None:
+        assert "bypass.injected_clock" not in symbols(run("seam", "REPRO014"))
+
+    def test_rng_parameter_idiom_is_clean(self) -> None:
+        reported = symbols(run("seam", "REPRO014"))
+        assert "bypass.threads_rng" not in reported
+        assert "bypass.shadowed" not in reported
+
+    def test_faults_package_is_blessed(self) -> None:
+        assert not any("chaos" in sym for sym in symbols(run("seam", "REPRO014")))
+
+    def test_suppression_waives_the_read(self) -> None:
+        assert "bypass.waived_read" not in symbols(run("seam", "REPRO014"))
+
+    def test_message_explains_the_seam(self) -> None:
+        (finding,) = [
+            f
+            for f in run("seam", "REPRO014")
+            if f.symbol == "bypass.measures_wall_clock"
+        ]
+        assert "inject the clock" in finding.message
+
+
+class TestShardEscape:
+    def test_state_written_from_two_manager_entries_reported(self) -> None:
+        findings = run("shard", "REPRO015")
+        assert "escape.SHARED_INDEX" in symbols(findings)
+
+    def test_message_names_the_entry_points(self) -> None:
+        (finding,) = [
+            f for f in run("shard", "REPRO015") if f.symbol == "escape.SHARED_INDEX"
+        ]
+        assert "escape.SmaltaManager.apply" in finding.message
+        assert "escape.SmaltaManager.snapshot_now" in finding.message
+
+    def test_single_writer_state_is_clean(self) -> None:
+        assert "escape.SINGLE_WRITER_LOG" not in symbols(run("shard", "REPRO015"))
+
+    def test_decorated_entry_points_count(self) -> None:
+        assert "decorated.ROUTE_CACHE" in symbols(run("shard", "REPRO015"))
+
+    def test_suppression_at_the_binding_waives_it(self) -> None:
+        assert "escape.WAIVED_POOL" not in symbols(run("shard", "REPRO015"))
+
+    def test_finding_anchors_at_the_binding_line(self) -> None:
+        (finding,) = [
+            f for f in run("shard", "REPRO015") if f.symbol == "escape.SHARED_INDEX"
+        ]
+        assert finding.path.endswith("escape.py")
+        assert finding.line == 3
+
+
+class TestUnpicklableCapture:
+    def test_lambda_and_closure_captures_reported(self) -> None:
+        reported = symbols(run("pickle", "REPRO016"))
+        assert "captures.lambda_to_pool" in reported
+        assert "captures.closure_to_executor" in reported
+        assert "captures.lambda_to_apply_async" in reported
+        assert "captures.process_target" in reported
+
+    def test_module_level_function_is_clean(self) -> None:
+        assert "captures.module_fn_is_fine" not in symbols(run("pickle", "REPRO016"))
+
+    def test_thread_pools_are_exempt(self) -> None:
+        assert "captures.thread_pools_do_not_pickle" not in symbols(
+            run("pickle", "REPRO016")
+        )
+
+    def test_builtin_map_is_not_a_seam(self) -> None:
+        assert "captures.plain_map_is_not_a_seam" not in symbols(
+            run("pickle", "REPRO016")
+        )
+
+    def test_suppression_waives_the_capture(self) -> None:
+        assert "captures.waived" not in symbols(run("pickle", "REPRO016"))
+
+
+class TestImpureSnapshotPath:
+    def test_io_and_rng_reachable_from_roots_reported(self) -> None:
+        findings = run("snap", "REPRO017")
+        reported = symbols(findings)
+        assert "impure.snapshot" in reported
+        assert "impure.ortc_from_trie" in reported
+
+    def test_witness_chain_in_message(self) -> None:
+        io_findings = [
+            f
+            for f in run("snap", "REPRO017")
+            if f.symbol == "impure.snapshot" and "print()" in f.message
+        ]
+        assert len(io_findings) == 1
+        assert "via impure._log_line" in io_findings[0].message
+
+    def test_pure_snapshot_is_clean(self) -> None:
+        reported = symbols(run("snap", "REPRO017"))
+        assert "pure.snapshot_now" not in reported
+        assert "pure.unrelated_name" not in reported
+
+    def test_suppression_waives_the_root(self) -> None:
+        assert "waived.snapshot" not in symbols(run("snap", "REPRO017"))
+
+
+class TestCatalogAndRepo:
+    def test_rule_catalog_is_complete(self) -> None:
+        assert sorted(RULES) == [
+            "REPRO013",
+            "REPRO014",
+            "REPRO015",
+            "REPRO016",
+            "REPRO017",
+        ]
+        for spec in RULES.values():
+            assert spec.code in RULES
+            assert spec.summary
+
+    def test_repo_sources_are_effects_clean(self) -> None:
+        """The tentpole gate: the repo passes its own newest analyzer."""
+        findings = analyze_effects(
+            [REPO_ROOT / "src" / "repro", REPO_ROOT / "examples"]
+        )
+        assert findings == []
+
+    def test_effects_baseline_stays_empty(self) -> None:
+        """Checked-in baseline must stay empty: fix findings, don't bury."""
+        import json
+
+        payload = json.loads(
+            (REPO_ROOT / ".effects-baseline.json").read_text(encoding="utf-8")
+        )
+        assert payload["fingerprints"] == {}
