@@ -25,9 +25,11 @@ import time
 from collections import deque
 from typing import Callable, Iterable, Optional
 
+from repro.core.backend import backend_name_of, make_backend
 from repro.core.downloads import DownloadLog, FibDownload
 from repro.core.policy import ManualSnapshotPolicy, SnapshotPolicy
 from repro.core.smalta import SmaltaState
+from repro.core.trie import FibTrie
 from repro.net.nexthop import Nexthop
 from repro.net.prefix import Prefix
 from repro.net.update import RouteUpdate, UpdateKind
@@ -49,6 +51,7 @@ class SmaltaManager:
         clock: Callable[[], float] = time.perf_counter,
         audit: Optional[AuditConfig] = None,
         obs: Optional[Observability] = None,
+        backend: "str | FibTrie | None" = None,
     ) -> None:
         #: The manager defaults to a live registry (summary() is a view
         #: over it); pass Observability.null() to run with accounting off
@@ -56,7 +59,16 @@ class SmaltaManager:
         #: backed fields then read zero, while DownloadLog attribution
         #: keeps working).
         self.obs = obs if obs is not None else Observability(clock=clock)
-        self.state = SmaltaState(width, obs=self.obs)
+        #: ``backend`` selects the trie implementation: a name ("single"
+        #: or "sharded"), a ready-made instance, or None to honor the
+        #: ``SMALTA_BACKEND`` environment variable (the CI matrix leg
+        #: replays the whole suite with it set to "sharded").
+        if backend is None or isinstance(backend, str):
+            trie_backend = make_backend(backend, width=width, obs=self.obs)
+        else:
+            trie_backend = backend
+        self.backend_name = backend_name_of(trie_backend)
+        self.state = SmaltaState(width, obs=self.obs, backend=trie_backend)
         self.policy: SnapshotPolicy = policy if policy is not None else (
             ManualSnapshotPolicy()
         )
@@ -437,3 +449,7 @@ class SmaltaManager:
             "mean_snapshot_burst": self.log.mean_snapshot_burst,
             "audits_run": self.audits_run,
         }
+
+    def close(self) -> None:
+        """Release backend resources (e.g. the sharded snapshot pool)."""
+        self.state.trie.close()

@@ -29,7 +29,6 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.core.downloads import FibDownload, diff_tables
-from repro.core.ortc import ortc, ortc_from_trie
 from repro.core.trie import FibTrie, Node
 from repro.net.nexthop import DROP, Nexthop
 from repro.net.prefix import Prefix
@@ -45,8 +44,14 @@ class SmaltaState:
         width: int = 32,
         compact: bool = True,
         obs: Optional[Observability] = None,
+        backend: Optional[FibTrie] = None,
     ) -> None:
-        self.trie = FibTrie(width)
+        #: The OT/AT structure. Any ``TrieBackend`` (see
+        #: :mod:`repro.core.backend`) works here; the algorithms address
+        #: it only through the protocol surface, so the reference trie
+        #: and the sharded backend are interchangeable — the differential
+        #: suite holds their download logs byte-identical.
+        self.trie = backend if backend is not None else FibTrie(width)
         self.trie.at_observer = self._on_at_change
         self._events: list[tuple[Prefix, Optional[Nexthop], Optional[Nexthop]]] = []
         self._capture = True
@@ -408,12 +413,13 @@ class SmaltaState:
         ATs using the paper's Graceful-Restart accounting (a changed
         nexthop is a Delete followed by an Insert).
 
-        With ``fast=True`` (the default) the ORTC scratch tree is built
-        by mirroring the live union trie in one walk
-        (:func:`~repro.core.ortc.ortc_from_trie`) instead of re-inserting
-        every OT entry bit-by-bit from the root; ``fast=False`` keeps the
-        entry-stream baseline the batch benchmark compares against. Both
-        produce the identical optimal table.
+        The rebuild itself is delegated to the backend
+        (:meth:`~repro.core.trie.FibTrie.ortc_table`): with ``fast=True``
+        (the default) the reference trie mirrors itself into the ORTC
+        scratch tree in one walk, while the sharded backend may fan the
+        work out per shard onto a process pool; ``fast=False`` keeps the
+        entry-stream baseline the batch benchmark compares against. All
+        paths produce the identical optimal table.
 
         ``count=False`` suppresses the ``smalta_snapshots_total``
         increment — used by the runtime toggle, which accounts its
@@ -425,10 +431,7 @@ class SmaltaState:
         with self.obs.span(
             "smalta_ortc", "ORTC rebuild inside snapshot(OT)"
         ):
-            if fast:
-                new_table = ortc_from_trie(trie)
-            else:
-                new_table = ortc(trie.ot_entries(), trie.width)
+            new_table = trie.ortc_table(fast=fast)
         old_table = trie.at_table()
         downloads = diff_tables(old_table, new_table)
 

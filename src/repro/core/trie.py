@@ -76,9 +76,15 @@ class FibTrie:
     changes for FIB-download generation.
     """
 
-    def __init__(self, width: int = 32) -> None:
+    def __init__(self, width: int = 32, base: Optional[Prefix] = None) -> None:
         self.width = width
-        self.root = Node(Prefix.root(width), None)
+        #: With ``base`` set, this trie is rooted at that prefix instead
+        #: of the whole address space: navigation skips the base bits, so
+        #: the structure only ever holds prefixes under ``base``. The
+        #: sharded backend builds one such subtrie per /8 and splices its
+        #: root into the root-table trie as a real child node.
+        self.root = Node(base if base is not None else Prefix.root(width), None)
+        self._skip = self.root.prefix.length
         #: Off-tree sentinel representing the *unrouted* covering context
         #: (the paper's nil P with nexthop ε): explicit DROP entries are
         #: registered as its deaggregates so the update algorithms' "visit
@@ -96,7 +102,9 @@ class FibTrie:
         """The node for ``prefix``, or None when absent."""
         node: Optional[Node] = self.root
         value = prefix.value
-        for shift in range(self.width - 1, self.width - 1 - prefix.length, -1):
+        for shift in range(
+            self.width - 1 - self._skip, self.width - 1 - prefix.length, -1
+        ):
             if node is None:
                 return None
             node = node.right if (value >> shift) & 1 else node.left
@@ -106,7 +114,9 @@ class FibTrie:
         """The node for ``prefix``, creating intermediate nodes as needed."""
         node = self.root
         value = prefix.value
-        for shift in range(self.width - 1, self.width - 1 - prefix.length, -1):
+        for shift in range(
+            self.width - 1 - self._skip, self.width - 1 - prefix.length, -1
+        ):
             bit = (value >> shift) & 1
             nxt = node.right if bit else node.left
             if nxt is None:
@@ -211,8 +221,20 @@ class FibTrie:
             self.prune(node)
 
     def deaggregates_of(self, node: Node) -> list[Node]:
-        """A snapshot list of nodes whose preimage pointer targets ``node``."""
-        return list(node.deaggs) if node.deaggs else []
+        """A snapshot list of nodes whose preimage pointer targets ``node``.
+
+        Sorted by prefix: the reverse index is a set hashed on object
+        identity, so its raw iteration order varies with allocation order
+        — which differs between trie backends even when the node *graphs*
+        are identical. The update algorithms are order-insensitive, but a
+        deterministic order is what lets the differential suite demand
+        byte-identical download logs across backends.
+        """
+        if not node.deaggs:
+            return []
+        return sorted(
+            node.deaggs, key=lambda n: (n.prefix.value, n.prefix.length)
+        )
 
     # -- longest-prefix machinery ---------------------------------------
 
@@ -221,7 +243,9 @@ class FibTrie:
         node: Optional[Node] = self.root
         yield self.root
         value = prefix.value
-        for shift in range(self.width - 1, self.width - 1 - prefix.length, -1):
+        for shift in range(
+            self.width - 1 - self._skip, self.width - 1 - prefix.length, -1
+        ):
             node = node.right if (value >> shift) & 1 else node.left
             if node is None:
                 return
@@ -308,6 +332,20 @@ class FibTrie:
     def at_table(self) -> dict[Prefix, Nexthop]:
         return dict(self.at_entries())
 
+    def ortc_table(self, fast: bool = True) -> dict[Prefix, Nexthop]:
+        """The optimal aggregation of this trie's OT (the snapshot core).
+
+        This is the backend seam :meth:`~repro.core.smalta.SmaltaState.
+        snapshot` calls: the sharded backend overrides it to fan the work
+        out per shard. ``fast`` selects the trie-mirroring path over the
+        entry-stream baseline; both produce the identical table.
+        """
+        from repro.core.ortc import ortc, ortc_from_trie
+
+        if fast:
+            return ortc_from_trie(self)
+        return ortc(self.ot_entries(), self.width)
+
     @property
     def ot_size(self) -> int:
         """Number of Original Tree entries (#(OT) in the paper)."""
@@ -334,3 +372,6 @@ class FibTrie:
             node = stack.pop()
             yield node
             stack.extend(node.children())
+
+    def close(self) -> None:
+        """Release backend resources; a plain trie holds none."""

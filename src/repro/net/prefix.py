@@ -172,6 +172,13 @@ class Prefix:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self) -> tuple[type["Prefix"], tuple[int, int, int]]:
+        # The immutability guard (__setattr__ raises) breaks pickle's
+        # default state restore; rebuilding through the constructor keeps
+        # instances picklable, which the sharded snapshot's process pool
+        # relies on.
+        return (Prefix, (self.value, self.length, self.width))
+
     def __repr__(self) -> str:
         if self.width == IPV4_WIDTH:
             return f"Prefix({str(self)!r})"

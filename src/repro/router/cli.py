@@ -54,6 +54,7 @@ class RouterCli:
             state = "enabled" if manager.enabled else "disabled"
             return (
                 f"SMALTA: {state}\n"
+                f"  trie backend:            {manager.backend_name}\n"
                 f"  original tree entries:   {manager.ot_size}\n"
                 f"  aggregated tree entries: {manager.at_size}\n"
                 f"  updates since snapshot:  {manager.updates_since_snapshot}\n"

@@ -61,6 +61,7 @@ class RouterPipeline:
         obs: Optional[Observability] = None,
         faults: Optional[FaultPlan] = None,
         channel_config: Optional[ChannelConfig] = None,
+        backend: Optional[str] = None,
     ) -> None:
         #: One Observability instance for the whole router; every layer
         #: below (zebra, manager, state, kernel, channel) shares its
@@ -79,6 +80,7 @@ class RouterPipeline:
             obs=self.obs,
             faults=faults,
             channel_config=channel_config,
+            backend=backend,
         )
         #: Lazily constructed on the first graceful peer drop (RFC 4724).
         self._graceful: Optional[GracefulRestartManager] = None

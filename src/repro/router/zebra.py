@@ -49,6 +49,7 @@ class Zebra:
         faults: Optional[FaultPlan] = None,
         channel_config: Optional[ChannelConfig] = None,
         channel_sleep: Optional[Sleep] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.obs = obs if obs is not None else Observability()
         self.kernel = kernel if kernel is not None else KernelFib(width)
@@ -60,6 +61,7 @@ class Zebra:
             download_log=download_log,
             audit=audit,
             obs=self.obs,
+            backend=backend,
         )
         self.reconciler = Reconciler(
             self.kernel, self.manager.fib_table, obs=self.obs

@@ -16,6 +16,12 @@ forwarding behaviour may not — the TaCo check in
 :mod:`repro.core.equivalence` decides), structural invariants intact,
 and a net ``FibDownload`` stream that replays to exactly the batched
 AT/FIB. This is the machinery that keeps every perf refactor honest.
+
+A fourth axis crosses all of the above: every scenario replays on the
+**sharded** backend (8 subtries behind a /3 boundary at this width, with
+the stitched per-shard snapshot protocol forced on), which must produce
+*byte-identical* download streams and tables — not merely equivalent
+ones — against the reference single trie.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.core.equivalence import equivalence_counterexample
 from repro.core.manager import SmaltaManager
 from repro.core.ortc import ortc, ortc_from_trie
 from repro.core.policy import PeriodicUpdateCountPolicy
+from repro.core.shards import ShardedBackend
 from repro.core.smalta import SmaltaState
 from repro.net.nexthop import Nexthop
 from repro.net.prefix import Prefix
@@ -75,21 +82,36 @@ def bursts_of(ops, boundaries):
         yield ops[start:end]
 
 
-def run_sequential(ops) -> tuple[SmaltaState, dict[Prefix, Nexthop]]:
+def make_state(backend: str) -> SmaltaState:
+    """A fresh state on the named backend (sharded: /3 boundary → 8
+    shards at width 6, stitched snapshots forced so the per-shard
+    protocol is exercised in-process on every scenario)."""
+    if backend == "sharded":
+        return SmaltaState(
+            WIDTH,
+            backend=ShardedBackend(WIDTH, boundary=3, force_stitch=True),
+        )
+    return SmaltaState(WIDTH)
+
+
+def run_sequential(
+    ops, backend: str = "single"
+) -> tuple[SmaltaState, dict[Prefix, Nexthop], list[FibDownload]]:
     """One apply per update, with the manager's withdraw tolerance."""
-    state = SmaltaState(WIDTH)
+    state = make_state(backend)
     shadow: dict[Prefix, Nexthop] = {}
+    downloads: list[FibDownload] = []
     for prefix, nexthop in ops:
         if nexthop is None:
             try:
-                state.delete(prefix)
+                downloads.extend(state.delete(prefix))
             except KeyError:
                 pass
             shadow.pop(prefix, None)
         else:
-            state.insert(prefix, nexthop)
+            downloads.extend(state.insert(prefix, nexthop))
             shadow[prefix] = nexthop
-    return state, shadow
+    return state, shadow, downloads
 
 
 def replay(downloads: list[FibDownload]) -> dict[Prefix, Nexthop]:
@@ -104,8 +126,9 @@ def replay(downloads: list[FibDownload]) -> dict[Prefix, Nexthop]:
 
 
 def check_agreement(ops, boundaries) -> None:
-    """The core differential: sequential ≡ batched ≡ ORTC-from-scratch."""
-    sequential, shadow = run_sequential(ops)
+    """The core differential: sequential ≡ batched ≡ ORTC-from-scratch,
+    each replayed on both trie backends with byte-identical streams."""
+    sequential, shadow, seq_downloads = run_sequential(ops)
 
     batched = SmaltaState(WIDTH)
     downloads: list[FibDownload] = []
@@ -132,6 +155,33 @@ def check_agreement(ops, boundaries) -> None:
     assert ortc_from_trie(batched.trie) == ortc(
         batched.trie.ot_entries(), WIDTH
     )
+
+    # Backend differential: the sharded backend must be byte-identical
+    # to the reference trie — same download stream entry for entry (not
+    # merely equivalent), same OT, same AT labels.
+    sharded_seq, sharded_shadow, sharded_seq_downloads = run_sequential(
+        ops, backend="sharded"
+    )
+    assert sharded_shadow == shadow
+    assert sharded_seq_downloads == seq_downloads
+    assert sharded_seq.ot_table() == shadow
+    assert sharded_seq.at_table() == sequential.at_table()
+    sharded_seq.verify()
+
+    sharded_batched = make_state("sharded")
+    sharded_downloads: list[FibDownload] = []
+    for burst in bursts_of(ops, boundaries):
+        sharded_downloads.extend(sharded_batched.apply_batch(burst))
+    assert sharded_downloads == downloads
+    assert sharded_batched.ot_table() == shadow
+    assert sharded_batched.at_table() == batched.at_table()
+    sharded_batched.verify()
+
+    # The stitched per-shard snapshot equals the single-trie mirror in
+    # content AND iteration order — snapshot bursts are diffed in table
+    # order, so ordering is part of download-log byte-identity.
+    stitched = sharded_batched.trie.ortc_table(fast=True)
+    assert list(stitched.items()) == list(ortc_from_trie(batched.trie).items())
 
 
 @settings(

@@ -22,9 +22,11 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.downloads import DownloadLog
 from repro.core.equivalence import semantically_equivalent
 from repro.core.manager import SmaltaManager
 from repro.core.policy import PeriodicUpdateCountPolicy
+from repro.core.shards import ShardedBackend
 from repro.net.update import iter_bursts
 from repro.obs.export import (
     flatten_samples,
@@ -159,14 +161,19 @@ def check_metrics(manager: SmaltaManager, expected_counters: dict) -> None:
     registry = manager.obs.registry
     from repro.obs.registry import Counter, Gauge
 
+    # The shard-routing series exist only when $SMALTA_BACKEND selects
+    # the sharded backend (the CI matrix leg); they are implementation
+    # telemetry, not workload behaviour, so the freeze skips them.
     counters = {
         i.key: int(i.value)
         for i in registry.collect()
-        if isinstance(i, Counter)
+        if isinstance(i, Counter) and not i.key.startswith("smalta_shard")
     }
     assert counters == expected_counters
     gauges = {
-        i.key: int(i.value) for i in registry.collect() if isinstance(i, Gauge)
+        i.key: int(i.value)
+        for i in registry.collect()
+        if isinstance(i, Gauge) and not i.key.startswith("smalta_shard")
     }
     assert gauges == EXPECTED_GAUGES
     burst_hist = registry.get("smalta_snapshot_burst_size")
@@ -223,3 +230,72 @@ def test_golden_paths_agree(golden):
         bat.apply_batch(burst)
     assert seq.state.ot_table() == bat.state.ot_table()
     assert semantically_equivalent(seq.fib_table(), bat.fib_table(), 32)
+
+
+# -- sharded backend: same trace, same frozen numbers, same bytes ----------
+#
+# The golden numbers above were frozen on the single reference trie. The
+# sharded backend must not move a single one of them — and beyond the
+# summary, its download *stream* (every FibDownload, in order, including
+# the initial End-of-RIB burst) must match the reference entry for entry.
+# The sequential replay runs the stitched per-shard snapshot protocol
+# (``force_stitch=True``); the batched replay runs the default spliced
+# mirror path, so both snapshot implementations are pinned to the trace.
+
+
+def _sharded_manager(table, force_stitch: bool) -> SmaltaManager:
+    backend = ShardedBackend(32, force_stitch=force_stitch)
+    manager = SmaltaManager(
+        width=32,
+        policy=PeriodicUpdateCountPolicy(SNAPSHOT_SPACING),
+        download_log=DownloadLog(keep_entries=True),
+        backend=backend,
+    )
+    assert manager.backend_name == "sharded"
+    for prefix, nexthop in table.items():
+        manager.state.load(prefix, nexthop)
+    manager.end_of_rib()
+    return manager
+
+
+def _reference_manager(table) -> SmaltaManager:
+    manager = SmaltaManager(
+        width=32,
+        policy=PeriodicUpdateCountPolicy(SNAPSHOT_SPACING),
+        download_log=DownloadLog(keep_entries=True),
+        backend="single",
+    )
+    for prefix, nexthop in table.items():
+        manager.state.load(prefix, nexthop)
+    manager.end_of_rib()
+    return manager
+
+
+def test_golden_sequential_sharded(golden):
+    table, trace = golden
+    reference = _reference_manager(table)
+    sharded = _sharded_manager(table, force_stitch=True)
+    for update in trace:
+        reference.apply(update)
+        sharded.apply(update)
+    check_common(sharded)
+    summary = sharded.summary()
+    assert summary["update_downloads"] == EXPECTED_SEQUENTIAL_UPDATE_DOWNLOADS
+    assert summary == reference.summary()
+    assert sharded.log.downloads == reference.log.downloads
+    sharded.close()
+
+
+def test_golden_batched_sharded(golden):
+    table, trace = golden
+    reference = _reference_manager(table)
+    sharded = _sharded_manager(table, force_stitch=False)
+    for burst in iter_bursts(trace, max_gap_s=0.02):
+        reference.apply_batch(burst)
+        sharded.apply_batch(burst)
+    check_common(sharded)
+    summary = sharded.summary()
+    assert summary["update_downloads"] == EXPECTED_BATCH_UPDATE_DOWNLOADS
+    assert summary == reference.summary()
+    assert sharded.log.downloads == reference.log.downloads
+    sharded.close()

@@ -109,6 +109,19 @@ class TestShardEscape:
         assert finding.path.endswith("escape.py")
         assert finding.line == 3
 
+    def test_snapshot_worker_cache_leak_reported(self) -> None:
+        """The sharded-snapshot failure mode: a worker caching results in
+        module state loses them across the pool's process boundary."""
+        findings = run("shard", "REPRO015")
+        assert "workers.RESULT_CACHE" in symbols(findings)
+        (finding,) = [f for f in findings if f.symbol == "workers.RESULT_CACHE"]
+        assert "workers.snapshot_shard" in finding.message
+        assert "workers.reset_worker" in finding.message
+
+    def test_snapshot_worker_single_writer_and_pure_are_clean(self) -> None:
+        reported = symbols(run("shard", "REPRO015"))
+        assert "workers.LAST_ERROR" not in reported
+
 
 class TestUnpicklableCapture:
     def test_lambda_and_closure_captures_reported(self) -> None:
@@ -133,6 +146,18 @@ class TestUnpicklableCapture:
 
     def test_suppression_waives_the_capture(self) -> None:
         assert "captures.waived" not in symbols(run("pickle", "REPRO016"))
+
+    def test_shard_dispatch_closure_reported(self) -> None:
+        """The coordinator-side failure mode: a per-shard closure handed
+        to the snapshot pool dies at the pickling boundary."""
+        assert "snapshot_pool.dispatch_closure" in symbols(
+            run("pickle", "REPRO016")
+        )
+
+    def test_shard_dispatch_module_worker_is_clean(self) -> None:
+        assert "snapshot_pool.dispatch_module_worker" not in symbols(
+            run("pickle", "REPRO016")
+        )
 
 
 class TestImpureSnapshotPath:
