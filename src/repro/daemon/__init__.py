@@ -1,0 +1,43 @@
+"""The long-running aggregation daemon (docs/DAEMON.md).
+
+``repro.daemon`` turns the run-a-trace-and-exit :class:`~repro.router.
+pipeline.RouterPipeline` into a resident asyncio server hosting many
+tenants (one full router stack each), fed by streaming update queues
+with backpressure and operated through a line-delimited JSON control
+socket plus a live Prometheus scrape endpoint. The daemon feed path
+*is* the pipeline code path, so a daemon replay produces download logs
+byte-identical to the batch pipeline — ``tests/daemon/`` holds the
+proofs.
+"""
+
+from repro.daemon.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_download,
+    decode_line,
+    decode_prefix,
+    decode_update,
+    encode_download,
+    encode_line,
+    encode_prefix,
+    encode_update,
+)
+from repro.daemon.server import AggregationDaemon, DaemonError
+from repro.daemon.tenant import Tenant, TenantConfig
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AggregationDaemon",
+    "DaemonError",
+    "ProtocolError",
+    "Tenant",
+    "TenantConfig",
+    "decode_download",
+    "decode_line",
+    "decode_prefix",
+    "decode_update",
+    "encode_download",
+    "encode_line",
+    "encode_prefix",
+    "encode_update",
+]

@@ -1,0 +1,75 @@
+"""Feed sources: turn traces into tenant feed streams.
+
+The shapes mirror :meth:`~repro.router.pipeline.RouterPipeline.
+run_trace` exactly — sequential when no batching knob is set, one
+:func:`~repro.net.update.iter_bursts` burst per queue item otherwise —
+so a daemon replay and a batch replay of the same trace are the same
+sequence of pipeline calls, just spread across event-loop turns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.daemon.tenant import Tenant
+from repro.net.update import RouteUpdate, UpdateTrace, iter_bursts
+
+
+def replay_plan(
+    trace: "UpdateTrace | Iterable[RouteUpdate]",
+    batch_size: Optional[int] = None,
+    burst_gap_s: Optional[float] = None,
+) -> Iterator[list[RouteUpdate]]:
+    """The burst sequence a replay will feed, one list per queue item.
+
+    With both knobs unset every update rides alone (the sequential
+    path); otherwise bursts come from ``iter_bursts`` with the same
+    parameters ``run_trace`` would use.
+    """
+    if batch_size is None and burst_gap_s is None:
+        for update in trace:
+            yield [update]
+        return
+    yield from iter_bursts(trace, max_gap_s=burst_gap_s, max_size=batch_size)
+
+
+async def feed_trace(
+    tenant: Tenant,
+    trace: "UpdateTrace | Iterable[RouteUpdate]",
+    batch_size: Optional[int] = None,
+    burst_gap_s: Optional[float] = None,
+) -> int:
+    """Stream a trace into a tenant's queue; returns updates fed.
+
+    Backpressure is the queue's: each ``feed_*`` awaits until the
+    consumer makes room. Call ``tenant.drain()`` afterwards to wait for
+    full incorporation.
+    """
+    fed = 0
+    batching = batch_size is not None or burst_gap_s is not None
+    for burst in replay_plan(trace, batch_size, burst_gap_s):
+        if batching:
+            await tenant.feed_burst(burst)
+        else:
+            await tenant.feed_update(burst[0])
+        fed += len(burst)
+    return fed
+
+
+async def load_and_feed(
+    tenant: Tenant,
+    updates: list[RouteUpdate],
+    batch_size: Optional[int] = None,
+    burst_gap_s: Optional[float] = None,
+    end_of_rib: bool = False,
+) -> int:
+    """Feed pre-loaded updates, optionally closing with End-of-RIB.
+
+    Callers load trace *files* synchronously before entering the loop
+    (file IO is banned from async paths by REPRO013) and hand the
+    in-memory updates here.
+    """
+    fed = await feed_trace(tenant, updates, batch_size, burst_gap_s)
+    if end_of_rib:
+        await tenant.end_of_rib()
+    return fed

@@ -1,0 +1,230 @@
+"""One hosted router: a full pipeline behind an asyncio feed queue.
+
+A :class:`Tenant` wraps a complete :class:`~repro.router.pipeline.
+RouterPipeline` (its own Observability registry, SMALTA manager, zebra,
+download channel, kernel) and puts an ``asyncio.Queue`` in front of it.
+Feeding awaits ``queue.put`` — a slow tenant therefore exerts
+*backpressure* on its producer instead of buffering without bound — and
+one consumer task drains the queue, yielding to the event loop between
+items so control-socket and scrape traffic stay live mid-replay.
+
+The consumer calls the pipeline's public ``apply_update`` /
+``apply_burst`` / ``end_of_rib`` — literally the code path
+``RouterPipeline.run_trace`` uses — which is what makes the daemon's
+download logs byte-identical to a batch run of the same feed
+(``tests/daemon/test_daemon_differential.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.downloads import DownloadLog
+from repro.core.policy import SnapshotPolicy
+from repro.faults.plan import FaultPlan
+from repro.net.update import RouteUpdate
+from repro.obs.observability import Observability
+from repro.router.channel import ChannelConfig
+from repro.router.pipeline import RouterPipeline
+
+if TYPE_CHECKING:
+    from repro.core.trie import FibTrie
+
+Clock = Callable[[], float]
+
+#: Default feed-queue bound: a producer more than this many items ahead
+#: of the consumer blocks in ``await feed(...)``.
+DEFAULT_QUEUE_LIMIT = 64
+
+
+class FeedKind(enum.Enum):
+    UPDATE = "update"
+    BURST = "burst"
+    END_OF_RIB = "end_of_rib"
+    STOP = "stop"
+
+
+@dataclass(frozen=True)
+class FeedItem:
+    kind: FeedKind
+    update: Optional[RouteUpdate] = None
+    burst: Optional[list[RouteUpdate]] = None
+
+
+@dataclass
+class TenantConfig:
+    """Everything needed to stand up one hosted router."""
+
+    name: str
+    width: int = 32
+    smalta_enabled: bool = True
+    policy: Optional[SnapshotPolicy] = None
+    backend: "str | FibTrie | None" = None
+    #: Keep per-entry download records (the equivalence harnesses diff
+    #: them byte for byte); accounting-only tenants leave this off.
+    keep_entries: bool = False
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+    faults: Optional[FaultPlan] = None
+    channel_config: Optional[ChannelConfig] = None
+
+    def __post_init__(self) -> None:
+        if len(self.name) == 0 or any(c.isspace() for c in self.name):
+            raise ValueError(f"tenant name must be non-empty, no spaces: {self.name!r}")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+
+
+@dataclass
+class TenantStats:
+    """Daemon-side accounting, separate from the pipeline's own stats."""
+
+    feed_items: int = 0
+    feed_updates: int = 0
+    feed_bursts: int = 0
+    consumer_errors: list[str] = field(default_factory=list)
+
+
+class Tenant:
+    """A hosted router: queue in front, full pipeline behind."""
+
+    def __init__(self, config: TenantConfig, clock: Clock = time.perf_counter) -> None:
+        self.config = config
+        self.name = config.name
+        self.obs = Observability(clock=clock)
+        self.download_log = DownloadLog(keep_entries=config.keep_entries)
+        self.pipeline = RouterPipeline(
+            width=config.width,
+            smalta_enabled=config.smalta_enabled,
+            policy=config.policy,
+            obs=self.obs,
+            faults=config.faults,
+            channel_config=config.channel_config,
+            backend=config.backend,
+            download_log=self.download_log,
+        )
+        self.stats = TenantStats()
+        self._queue: asyncio.Queue[FeedItem] = asyncio.Queue(
+            maxsize=config.queue_limit
+        )
+        self._consumer: Optional[asyncio.Task[None]] = None
+        self._stopping = False
+        self._g_depth = self.obs.registry.gauge(
+            "tenant_feed_depth", "feed items parked in the tenant queue"
+        )
+        self._c_items = self.obs.registry.counter(
+            "tenant_feed_items_total", "feed items consumed, by kind"
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the consumer task (must run inside the event loop)."""
+        if self._consumer is not None:
+            raise RuntimeError(f"tenant {self.name!r} already started")
+        self._stopping = False
+        self._consumer = asyncio.get_running_loop().create_task(
+            self._consume(), name=f"tenant-{self.name}"
+        )
+
+    @property
+    def running(self) -> bool:
+        return self._consumer is not None and not self._consumer.done()
+
+    async def stop(self) -> None:
+        """Stop accepting feed items, drain what's queued, join the task."""
+        if self._consumer is None:
+            return
+        self._stopping = True
+        await self._queue.put(FeedItem(FeedKind.STOP))
+        await self._consumer
+        self._consumer = None
+
+    def close(self) -> None:
+        """Release backend resources; the tenant must be stopped first."""
+        if self.running:
+            raise RuntimeError(f"tenant {self.name!r} still running; stop() first")
+        self.pipeline.close()
+
+    # -- the feed side ---------------------------------------------------
+
+    async def feed_update(self, update: RouteUpdate) -> None:
+        await self._put(FeedItem(FeedKind.UPDATE, update=update))
+
+    async def feed_burst(self, burst: list[RouteUpdate]) -> None:
+        await self._put(FeedItem(FeedKind.BURST, burst=burst))
+
+    async def end_of_rib(self) -> None:
+        await self._put(FeedItem(FeedKind.END_OF_RIB))
+
+    async def drain(self) -> None:
+        """Return once every item fed so far has been fully applied."""
+        await self._queue.join()
+
+    async def _put(self, item: FeedItem) -> None:
+        if self._stopping or self._consumer is None:
+            raise RuntimeError(f"tenant {self.name!r} is not accepting feed items")
+        await self._queue.put(item)
+        self._g_depth.set(float(self._queue.qsize()))
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- the consumer ----------------------------------------------------
+
+    async def _consume(self) -> None:
+        while True:
+            item = await self._queue.get()
+            try:
+                if item.kind is FeedKind.STOP:
+                    return
+                self._apply(item)
+            except Exception as exc:
+                # A poisoned item must not kill the tenant: record and
+                # keep consuming (the soak asserts on this ledger).
+                self.stats.consumer_errors.append(f"{type(exc).__name__}: {exc}")
+            finally:
+                self._queue.task_done()
+                self._g_depth.set(float(self._queue.qsize()))
+            # Yield between items: a long replay must not starve the
+            # control socket or the scrape endpoint.
+            await asyncio.sleep(0)
+
+    def _apply(self, item: FeedItem) -> None:
+        self.stats.feed_items += 1
+        self._c_items.inc()
+        if item.kind is FeedKind.UPDATE:
+            assert item.update is not None
+            self.stats.feed_updates += 1
+            self.pipeline.apply_update(item.update)
+        elif item.kind is FeedKind.BURST:
+            assert item.burst is not None
+            self.stats.feed_updates += len(item.burst)
+            self.stats.feed_bursts += 1
+            self.pipeline.apply_burst(item.burst)
+        elif item.kind is FeedKind.END_OF_RIB:
+            self.pipeline.end_of_rib()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def manager_summary(self) -> dict[str, float]:
+        return self.pipeline.zebra.manager.summary()
+
+    def summary(self) -> dict[str, float]:
+        """The manager's summary plus daemon-side keys (``daemon_*``).
+
+        Parity tests filter the ``daemon_`` prefix and compare the rest
+        against a batch pipeline's ``summary()`` verbatim.
+        """
+        combined = dict(self.manager_summary)
+        combined["daemon_feed_items"] = float(self.stats.feed_items)
+        combined["daemon_feed_updates"] = float(self.stats.feed_updates)
+        combined["daemon_feed_bursts"] = float(self.stats.feed_bursts)
+        combined["daemon_queue_depth"] = float(self.queue_depth)
+        combined["daemon_consumer_errors"] = float(len(self.stats.consumer_errors))
+        return combined

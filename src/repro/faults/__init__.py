@@ -1,6 +1,6 @@
 """Fault injection for the download path (see docs/RESILIENCE.md)."""
 
-from repro.faults.clock import VirtualClock
+from repro.faults.clock import AsyncVirtualClock, VirtualClock
 from repro.faults.plan import (
     FAULT_KINDS,
     FaultDecision,
@@ -10,6 +10,7 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "AsyncVirtualClock",
     "FAULT_KINDS",
     "FaultDecision",
     "FaultKind",

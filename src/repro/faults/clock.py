@@ -38,3 +38,24 @@ class VirtualClock:
         """Record and apply one wait (the channel's backoff seam)."""
         self.sleeps.append(seconds)
         self.advance(seconds)
+
+
+class AsyncVirtualClock(VirtualClock):
+    """A :class:`VirtualClock` whose sleep cooperates with an event loop.
+
+    Awaiting :meth:`sleep_async` advances *virtual* time instantly but
+    still yields control to the loop once (``asyncio.sleep(0)``), so
+    other coroutines interleave exactly as they would under real waits —
+    a daemon soak finishes in milliseconds of wall-clock while the
+    schedule it exercises is the real one. The instance remains a plain
+    ``Callable[[], float]``, so it plugs into every existing clock seam
+    (manager, observability, channel) unchanged.
+    """
+
+    async def sleep_async(self, seconds: float) -> None:
+        """Record and apply one wait, then yield to the event loop."""
+        import asyncio
+
+        self.sleeps.append(seconds)
+        self.advance(seconds)
+        await asyncio.sleep(0)

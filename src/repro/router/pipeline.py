@@ -17,6 +17,7 @@ from repro.bgp.rib import LocRib, Route
 from repro.bgp.session import SessionManager
 from repro.core.downloads import DownloadLog
 from repro.core.policy import SnapshotPolicy
+from repro.core.trie import FibTrie
 from repro.faults.plan import FaultPlan
 from repro.net.nexthop import Nexthop, RoundRobinIgpMapper
 from repro.net.prefix import Prefix
@@ -61,7 +62,8 @@ class RouterPipeline:
         obs: Optional[Observability] = None,
         faults: Optional[FaultPlan] = None,
         channel_config: Optional[ChannelConfig] = None,
-        backend: Optional[str] = None,
+        backend: "str | FibTrie | None" = None,
+        download_log: Optional[DownloadLog] = None,
     ) -> None:
         #: One Observability instance for the whole router; every layer
         #: below (zebra, manager, state, kernel, channel) shares its
@@ -69,7 +71,11 @@ class RouterPipeline:
         self.obs = obs if obs is not None else Observability()
         self.loc_rib = LocRib()
         self.sessions = SessionManager()
-        self.download_log = DownloadLog(keep_entries=False)
+        #: Injectable so equivalence harnesses can keep per-entry records
+        #: (``DownloadLog(keep_entries=True)``) and diff them byte for byte.
+        self.download_log = (
+            download_log if download_log is not None else DownloadLog(keep_entries=False)
+        )
         self.zebra = Zebra(
             kernel=kernel,
             width=width,
@@ -178,6 +184,23 @@ class RouterPipeline:
             ):
                 self._forward_batch(burst)
             return self.stats
+
+    def apply_update(self, update: RouteUpdate) -> None:
+        """Incorporate one already-selected update (the daemon feed path).
+
+        Public wrapper over the same code :meth:`run_trace` uses per
+        update, so a streamed feed and a replayed trace are literally the
+        same code path — the byte-identity proofs rest on this.
+        """
+        self._forward([update])
+
+    def apply_burst(self, updates: list[RouteUpdate]) -> None:
+        """Incorporate one burst through the coalescing batch path."""
+        self._forward_batch(updates)
+
+    def close(self) -> None:
+        """Release backend resources (sharded snapshot pools etc.)."""
+        self.zebra.manager.close()
 
     # -- internals ---------------------------------------------------------------------
 

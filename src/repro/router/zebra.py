@@ -23,6 +23,7 @@ from typing import Iterable, Optional
 from repro.core.downloads import DownloadLog, FibDownload, diff_tables
 from repro.core.manager import SmaltaManager
 from repro.core.policy import SnapshotPolicy
+from repro.core.trie import FibTrie
 from repro.faults.plan import FaultPlan
 from repro.net.nexthop import Nexthop
 from repro.net.prefix import Prefix
@@ -49,7 +50,7 @@ class Zebra:
         faults: Optional[FaultPlan] = None,
         channel_config: Optional[ChannelConfig] = None,
         channel_sleep: Optional[Sleep] = None,
-        backend: Optional[str] = None,
+        backend: "str | FibTrie | None" = None,
     ) -> None:
         self.obs = obs if obs is not None else Observability()
         self.kernel = kernel if kernel is not None else KernelFib(width)

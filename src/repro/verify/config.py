@@ -174,7 +174,11 @@ def default_cache(paths: Sequence[Path]) -> Optional[AnalysisCache]:
 
 
 #: Markdown files whose tables catalog the repo's metric series.
-METRICS_DOC_NAMES: tuple[str, ...] = ("OBSERVABILITY.md", "RESILIENCE.md")
+METRICS_DOC_NAMES: tuple[str, ...] = (
+    "OBSERVABILITY.md",
+    "RESILIENCE.md",
+    "DAEMON.md",
+)
 
 
 def default_metrics_docs(paths: Sequence[Path]) -> list[Path]:

@@ -1,0 +1,175 @@
+"""The VeriTable-style joint walk agrees with pairwise equivalence.
+
+:func:`repro.core.equivalence.joint_divergences` audits N tables in ONE
+union-trie traversal; these tests pin it to the already-trusted pairwise
+oracle (:func:`semantically_equivalent` / :func:`divergent_regions`):
+
+- full-group agreement ≡ all-pairs pairwise agreement (property test);
+- per-group divergence regions equal the pairwise divergence regions of
+  that pair, region for region, labels included;
+- ``limit`` truncates without changing membership; ``groups`` semantics
+  (singletons skipped, empty → trivially clean, bad index raises);
+- mixed-width inputs are rejected loudly, not silently mis-walked.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equivalence import (
+    JointDivergence,
+    divergent_regions,
+    joint_divergences,
+    jointly_equivalent,
+    semantically_equivalent,
+)
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+WIDTH = 6
+
+NEXTHOPS = [Nexthop(1, "nh1"), Nexthop(2, "nh2"), Nexthop(3, "nh3")]
+
+
+def to_prefix(length: int, bits: int) -> Prefix:
+    return Prefix.from_bits(format(bits, f"0{length}b") if length else "", WIDTH)
+
+
+def tables_strategy(count_max: int = 4):
+    prefix = st.integers(min_value=0, max_value=WIDTH).flatmap(
+        lambda length: st.builds(
+            to_prefix,
+            st.just(length),
+            st.integers(min_value=0, max_value=max(0, 2**length - 1)),
+        )
+    )
+    table = st.dictionaries(prefix, st.sampled_from(NEXTHOPS), max_size=12)
+    return st.lists(table, min_size=1, max_size=count_max)
+
+
+@settings(max_examples=300, deadline=None)
+@given(tables_strategy())
+def test_joint_full_group_matches_all_pairs(tables):
+    joint_ok = jointly_equivalent(tables, WIDTH)
+    pairwise_ok = all(
+        semantically_equivalent(tables[i], tables[j], WIDTH)
+        for i in range(len(tables))
+        for j in range(i + 1, len(tables))
+    )
+    assert joint_ok == pairwise_ok
+
+
+def addresses(prefix: Prefix) -> range:
+    """Every width-bit address covered by ``prefix`` (values are
+    left-aligned, so a region is one contiguous range)."""
+    return range(prefix.value, prefix.value + (1 << (WIDTH - prefix.length)))
+
+
+@settings(max_examples=300, deadline=None)
+@given(tables_strategy(count_max=5))
+def test_joint_pair_groups_match_pairwise_regions(tables):
+    """For every adjacent pair as its own group, the joint walk's
+    divergences cover exactly the addresses the pairwise oracle reports,
+    with the same label pair at every address. (Region *boundaries* may
+    differ: other tables' prefixes refine the joint trie, so one
+    pairwise region can arrive split into sub-regions.)"""
+    groups = [(i, i + 1) for i in range(len(tables) - 1)]
+    found = joint_divergences(tables, WIDTH, groups)
+    for pair in groups:
+        a, b = pair
+        expected: dict[int, tuple[Nexthop, Nexthop]] = {}
+        for prefix, la, lb in divergent_regions(tables[a], tables[b], WIDTH):
+            for address in addresses(prefix):
+                expected[address] = (la, lb)
+        got: dict[int, tuple[Nexthop, Nexthop]] = {}
+        for div in found:
+            if div.group != pair:
+                continue
+            for address in addresses(div.prefix):
+                assert address not in got  # joint regions are disjoint
+                got[address] = (div.labels[0], div.labels[1])
+        assert got == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(tables_strategy(), st.integers(min_value=0, max_value=5))
+def test_limit_truncates_without_changing_membership(tables, limit):
+    full = joint_divergences(tables, WIDTH)
+    capped = joint_divergences(tables, WIDTH, limit=limit)
+    assert len(capped) == min(limit, len(full))
+    assert set(capped) <= set(full)
+
+
+def test_empty_and_trivial_groups():
+    table = {to_prefix(1, 1): NEXTHOPS[0]}
+    assert joint_divergences([], WIDTH) == []
+    # singleton groups can never disagree; all-singletons → clean
+    assert joint_divergences([table, {}], WIDTH, groups=[(0,), (1,)]) == []
+    assert jointly_equivalent([table, {}], WIDTH, groups=[(0,)])
+    # one table, default group is the singleton (0,) → clean
+    assert jointly_equivalent([table], WIDTH)
+
+
+def test_group_index_out_of_range_raises():
+    table = {to_prefix(1, 1): NEXTHOPS[0]}
+    with pytest.raises(ValueError, match="out of range"):
+        joint_divergences([table, table], WIDTH, groups=[(0, 2)])
+    with pytest.raises(ValueError, match="out of range"):
+        joint_divergences([table], WIDTH, groups=[(-1, 0)])
+
+
+def test_width_mismatch_raises():
+    narrow = {Prefix.from_bits("1", 6): NEXTHOPS[0]}
+    wide = {Prefix.from_bits("1", 32): NEXTHOPS[0]}
+    with pytest.raises(ValueError, match="width-32 prefix in a width-6"):
+        joint_divergences([narrow, wide], 6)
+
+
+def test_divergence_record_shape_and_str():
+    covered = {to_prefix(1, 1): NEXTHOPS[0]}  # 1xxxxx → nh1, else DROP
+    empty: dict[Prefix, Nexthop] = {}
+    found = joint_divergences([covered, empty], WIDTH)
+    assert found == [
+        JointDivergence(
+            group=(0, 1),
+            prefix=to_prefix(1, 1),
+            labels=(NEXTHOPS[0], DROP),
+        )
+    ]
+    rendered = str(found[0])
+    assert "table[0]" in rendered and "table[1]" in rendered
+    assert str(to_prefix(1, 1)) in rendered
+
+
+def test_disjoint_groups_are_independent():
+    """A divergence inside one group never implicates another group."""
+    same = {to_prefix(2, 3): NEXTHOPS[1]}
+    different = {to_prefix(2, 3): NEXTHOPS[2]}
+    tables = [same, dict(same), same, different]
+    found = joint_divergences(tables, WIDTH, groups=[(0, 1), (2, 3)])
+    assert {div.group for div in found} == {(2, 3)}
+    assert jointly_equivalent(tables, WIDTH, groups=[(0, 1)])
+    assert not jointly_equivalent(tables, WIDTH, groups=[(0, 1), (2, 3)])
+
+
+def test_one_walk_covers_many_groups():
+    """The daemon's fleet-verify shape: K tenants × (ot, fib, kernel)
+    triples audited by one call; only the corrupted triple reports."""
+    base = {
+        to_prefix(1, 0): NEXTHOPS[0],
+        to_prefix(3, 5): NEXTHOPS[1],
+    }
+    tenants = []
+    for index in range(4):
+        ot = dict(base)
+        fib = dict(base)
+        kernel = dict(base)
+        if index == 2:
+            kernel[to_prefix(3, 5)] = NEXTHOPS[2]  # corrupt one kernel
+        tenants.extend([ot, fib, kernel])
+    groups = [(3 * i, 3 * i + 1, 3 * i + 2) for i in range(4)]
+    found = joint_divergences(tenants, WIDTH, groups)
+    assert {div.group for div in found} == {(6, 7, 8)}
+    assert all(len(div.labels) == 3 for div in found)

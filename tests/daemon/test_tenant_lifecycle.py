@@ -1,0 +1,259 @@
+"""Tenant lifecycle: backpressure, drain, stop/close, error resilience.
+
+The queue in front of every hosted pipeline is the daemon's flow
+control: these tests pin its observable contract — a bounded queue
+*blocks* producers instead of buffering without bound, ``drain`` means
+fully applied (not merely dequeued), ``stop`` drains before joining,
+lifecycle misuse raises instead of corrupting state, and a poisoned
+feed item lands in the error ledger without killing the consumer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.daemon.server import AggregationDaemon, DaemonError
+from repro.daemon.tenant import Tenant, TenantConfig
+from repro.faults import AsyncVirtualClock
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate
+from repro.obs.export import flatten_samples
+
+NH = Nexthop(1, "nh1")
+
+
+def p(bits: str) -> Prefix:
+    return Prefix.from_bits(bits, 32)
+
+
+def announce(bits: str, ts: float = 0.0) -> RouteUpdate:
+    return RouteUpdate.announce(p(bits), NH, ts)
+
+
+# -- config validation ----------------------------------------------------
+
+
+def test_config_rejects_bad_names_and_limits():
+    with pytest.raises(ValueError, match="non-empty"):
+        TenantConfig(name="")
+    with pytest.raises(ValueError, match="no spaces"):
+        TenantConfig(name="router one")
+    with pytest.raises(ValueError, match="queue_limit"):
+        TenantConfig(name="r1", queue_limit=0)
+
+
+# -- start/stop/close discipline ------------------------------------------
+
+
+async def lifecycle_discipline() -> None:
+    tenant = Tenant(TenantConfig(name="r1"))
+
+    # not started: feeding refuses, close is allowed (nothing running)
+    assert tenant.running is False
+    with pytest.raises(RuntimeError, match="not accepting"):
+        await tenant.feed_update(announce("1"))
+
+    tenant.start()
+    assert tenant.running is True
+    with pytest.raises(RuntimeError, match="already started"):
+        tenant.start()
+    with pytest.raises(RuntimeError, match="still running"):
+        tenant.close()
+
+    await tenant.end_of_rib()
+    await tenant.feed_update(announce("1"))
+    await tenant.drain()
+    assert tenant.manager_summary["updates_received"] == 1.0
+
+    await tenant.stop()
+    assert tenant.running is False
+    with pytest.raises(RuntimeError, match="not accepting"):
+        await tenant.feed_update(announce("0"))
+    # stop is idempotent; close now succeeds; a second close still works
+    await tenant.stop()
+    tenant.close()
+
+
+def test_lifecycle_discipline():
+    asyncio.run(lifecycle_discipline())
+
+
+async def stop_drains_pending_items() -> None:
+    """Everything fed before ``stop()`` is applied before the task ends."""
+    tenant = Tenant(TenantConfig(name="r1", queue_limit=128))
+    tenant.start()
+    await tenant.end_of_rib()
+    for index in range(50):
+        await tenant.feed_update(announce(format(index, "06b"), float(index)))
+    await tenant.stop()
+    assert tenant.manager_summary["updates_received"] == 50.0
+    assert tenant.queue_depth == 0
+
+
+def test_stop_drains_pending_items():
+    asyncio.run(stop_drains_pending_items())
+
+
+async def restart_after_stop() -> None:
+    """stop() → start() resumes the same pipeline where it left off."""
+    tenant = Tenant(TenantConfig(name="r1"))
+    tenant.start()
+    await tenant.end_of_rib()
+    await tenant.feed_update(announce("1"))
+    await tenant.stop()
+    tenant.start()
+    await tenant.feed_update(announce("0"))
+    await tenant.drain()
+    assert tenant.manager_summary["updates_received"] == 2.0
+    await tenant.stop()
+    tenant.close()
+
+
+def test_restart_after_stop():
+    asyncio.run(restart_after_stop())
+
+
+# -- backpressure ---------------------------------------------------------
+
+
+async def backpressure_blocks_producer() -> None:
+    """A producer running ahead of the consumer by more than
+    ``queue_limit`` items blocks in ``feed_update`` — the put only
+    completes once the consumer makes room."""
+    tenant = Tenant(TenantConfig(name="r1", queue_limit=2))
+    tenant.start()
+    await tenant.end_of_rib()
+    await tenant.drain()
+
+    # Fill the queue without yielding the loop: the consumer gets no
+    # slot to run, so the third put must wait for room.
+    for update in (announce("1", 1.0), announce("0", 2.0)):
+        await tenant.feed_update(update)
+
+    blocked = asyncio.Event()
+    third_done = asyncio.Event()
+
+    async def producer() -> None:
+        blocked.set()
+        await tenant.feed_update(announce("11", 3.0))
+        third_done.set()
+
+    task = asyncio.get_running_loop().create_task(producer())
+    await blocked.wait()
+    # Depth is capped at the configured bound the whole time.
+    assert tenant.queue_depth <= 2
+    await task
+    assert third_done.is_set()
+    await tenant.drain()
+    assert tenant.manager_summary["updates_received"] == 3.0
+    assert tenant.queue_depth == 0
+    await tenant.stop()
+
+
+def test_backpressure_blocks_producer():
+    asyncio.run(backpressure_blocks_producer())
+
+
+async def queue_depth_gauge_tracks() -> None:
+    tenant = Tenant(TenantConfig(name="r1", queue_limit=64))
+    tenant.start()
+    await tenant.end_of_rib()
+    for index in range(10):
+        await tenant.feed_update(announce(format(index, "05b")))
+    await tenant.drain()
+    samples = flatten_samples(tenant.obs.registry)
+    assert samples["tenant_feed_depth"] == 0.0
+    assert samples["tenant_feed_items_total"] == 11.0  # 10 updates + EoR
+    assert tenant.summary()["daemon_feed_items"] == 11.0
+    await tenant.stop()
+
+
+def test_queue_depth_gauge_tracks():
+    asyncio.run(queue_depth_gauge_tracks())
+
+
+# -- consumer resilience --------------------------------------------------
+
+
+async def poisoned_item_is_recorded_not_fatal() -> None:
+    """An item whose apply raises lands in ``consumer_errors``; the
+    consumer keeps serving the items behind it."""
+    tenant = Tenant(TenantConfig(name="r1"))
+    tenant.start()
+    await tenant.end_of_rib()
+    # A burst carrying a non-update poisons apply_burst mid-way.
+    poisoned = [announce("1"), "not an update", announce("0")]  # type: ignore[list-item]
+    await tenant.feed_burst(poisoned)  # type: ignore[arg-type]
+    await tenant.feed_update(announce("01"))
+    await tenant.drain()
+    assert len(tenant.stats.consumer_errors) == 1
+    assert tenant.running is True
+    assert tenant.summary()["daemon_consumer_errors"] == 1.0
+    # the clean item behind the poison was applied
+    assert tenant.pipeline.zebra.manager.fib_table().get(p("01")) == NH
+    await tenant.stop()
+
+
+def test_poisoned_item_is_recorded_not_fatal():
+    asyncio.run(poisoned_item_is_recorded_not_fatal())
+
+
+# -- virtual time ---------------------------------------------------------
+
+
+async def async_virtual_clock_drives_tenant() -> None:
+    """Tenants read time only through the injected clock: advancing an
+    :class:`AsyncVirtualClock` moves daemon uptime without wall-clock."""
+    clock = AsyncVirtualClock()
+    daemon = AggregationDaemon(clock=clock)
+    daemon.add_tenant(TenantConfig(name="r1"), start=False)
+    await daemon.start()
+    try:
+        before = clock()
+        await clock.sleep_async(123.0)
+        assert clock() - before == 123.0
+        assert clock.sleeps == [123.0]
+        tenant = daemon.tenants["r1"]
+        await tenant.end_of_rib()
+        await tenant.feed_update(announce("1"))
+        await tenant.drain()
+        assert tenant.manager_summary["updates_received"] == 1.0
+    finally:
+        await daemon.stop()
+
+
+def test_async_virtual_clock_drives_tenant():
+    asyncio.run(async_virtual_clock_drives_tenant())
+
+
+# -- daemon-level lifecycle ----------------------------------------------
+
+
+async def daemon_lifecycle_guards() -> None:
+    daemon = AggregationDaemon()
+    with pytest.raises(RuntimeError, match="not started"):
+        daemon.control_port
+    daemon.add_tenant(TenantConfig(name="r1"), start=False)
+    with pytest.raises(DaemonError, match="already exists"):
+        daemon.add_tenant(TenantConfig(name="r1"), start=False)
+    await daemon.start()
+    try:
+        with pytest.raises(RuntimeError, match="already started"):
+            await daemon.start()
+        with pytest.raises(DaemonError, match="no such tenant"):
+            await daemon.remove_tenant("r9")
+        assert daemon.tenants["r1"].running is True
+    finally:
+        await daemon.stop()
+    assert daemon.tenants == {}
+    # stop() is terminal for the sockets but the object can start again
+    await daemon.start()
+    assert daemon.control_port > 0
+    await daemon.stop()
+
+
+def test_daemon_lifecycle_guards():
+    asyncio.run(daemon_lifecycle_guards())

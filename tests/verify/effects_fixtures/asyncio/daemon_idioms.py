@@ -1,0 +1,93 @@
+"""REPRO013 fixtures shaped like the aggregation daemon's idioms.
+
+Positive cases are the daemon bugs the rule exists to catch: file IO,
+``time.sleep``, or a blocking connect reachable from a command handler
+or feeder coroutine. Negative cases are the patterns ``repro.daemon``
+actually uses and must stay analyzable as clean: awaited asyncio
+streams and queues, yielding between feed items, ``print`` (io-only,
+not loop-blocking), and trace files loaded in the *synchronous* entry
+point before the loop starts.
+"""
+
+import asyncio
+import socket
+import subprocess
+import time
+from pathlib import Path
+
+
+# -- bugs the rule must report -------------------------------------------
+
+
+async def handler_reads_file(args):
+    # a control handler doing file IO parks the whole event loop
+    with open(args["path"]) as fh:  # noqa: ASYNC230
+        return fh.read()
+
+
+async def handler_reads_path(args):
+    path = Path(args["path"])
+    return path.read_text()
+
+
+def _pace(seconds):
+    time.sleep(seconds)  # fine here; the caller decides the context
+
+
+async def feeder_naps(tenant, updates):
+    for update in updates:
+        tenant.feed(update)
+        _pace(0.01)  # transitively blocks the loop between items
+
+
+async def handler_dials_out(host, port):
+    return socket.create_connection((host, port))
+
+
+# -- daemon idioms that must stay clean ----------------------------------
+
+
+async def consumer_yields(queue, pipeline):
+    """The tenant consumer shape: queue get, apply, yield to the loop."""
+    while True:
+        item = await queue.get()
+        try:
+            pipeline.apply(item)
+        finally:
+            queue.task_done()
+        await asyncio.sleep(0)
+
+
+async def responds_over_stream(reader, writer):
+    """The control-socket shape: awaited stream reads and drains."""
+    line = await reader.readline()
+    writer.write(line)
+    await writer.drain()
+
+
+async def connects_with_asyncio(host, port):
+    """The ctl client shape: asyncio's connect, not the socket module."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.close()
+    await writer.wait_closed()
+    return reader
+
+
+async def logs_inline(result):
+    print(result)  # io, yes — but print does not block the loop
+
+
+def load_then_serve(path):
+    """The __main__ shape: file IO in the sync entry point, async after."""
+    with open(path) as fh:
+        payload = fh.read()
+    return asyncio.run(_serve_payload(payload))
+
+
+async def _serve_payload(payload):
+    await asyncio.sleep(0)
+    return payload
+
+
+async def waived_shell(cmd):
+    return subprocess.run(cmd)  # repro: allow[REPRO013]

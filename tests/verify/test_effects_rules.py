@@ -47,6 +47,51 @@ class TestBlockingInAsync:
     def test_suppression_waives_the_block(self) -> None:
         assert "blocking.waived" not in symbols(run("asyncio", "REPRO013"))
 
+    # -- the daemon idioms (tests/verify/effects_fixtures/asyncio/
+    #    daemon_idioms.py): what hosting an event loop must not do, and
+    #    what repro.daemon actually does and must stay clean.
+
+    def test_daemon_handler_file_io_reported(self) -> None:
+        reported = symbols(run("asyncio", "REPRO013"))
+        assert "daemon_idioms.handler_reads_file" in reported
+        assert "daemon_idioms.handler_reads_path" in reported
+
+    def test_daemon_transitive_sleep_reported(self) -> None:
+        findings = [
+            f
+            for f in run("asyncio", "REPRO013")
+            if f.symbol == "daemon_idioms.feeder_naps"
+        ]
+        assert len(findings) >= 1
+        assert any("via daemon_idioms._pace" in f.message for f in findings)
+
+    def test_daemon_blocking_connect_reported(self) -> None:
+        assert "daemon_idioms.handler_dials_out" in symbols(
+            run("asyncio", "REPRO013")
+        )
+
+    def test_daemon_consumer_and_stream_idioms_clean(self) -> None:
+        reported = symbols(run("asyncio", "REPRO013"))
+        assert "daemon_idioms.consumer_yields" not in reported
+        assert "daemon_idioms.responds_over_stream" not in reported
+        assert "daemon_idioms.connects_with_asyncio" not in reported
+
+    def test_print_is_io_not_blocking(self) -> None:
+        assert "daemon_idioms.logs_inline" not in symbols(
+            run("asyncio", "REPRO013")
+        )
+
+    def test_sync_entry_point_file_io_clean(self) -> None:
+        """The ``__main__`` shape: load traces before the loop starts."""
+        assert "daemon_idioms.load_then_serve" not in symbols(
+            run("asyncio", "REPRO013")
+        )
+
+    def test_daemon_suppression_waives(self) -> None:
+        assert "daemon_idioms.waived_shell" not in symbols(
+            run("asyncio", "REPRO013")
+        )
+
 
 class TestSeamBypass:
     def test_clock_rng_and_unseeded_random_reported(self) -> None:
