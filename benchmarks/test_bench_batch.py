@@ -334,6 +334,101 @@ def test_bench_snapshot_sharded():
     )
 
 
+def test_bench_lookup_packed():
+    """The three backends raced on LPM lookups over a DFZ-profile table.
+
+    The packed backend exists for exactly this number: the reference
+    node trie answers a lookup with up to 33 pointer hops; the packed
+    arrays answer it with three array loads per stride level (at most
+    three levels at width 32). The sharded backend walks the same node
+    graph as the reference through a splice, so it races as the "seam
+    cost" control. Every backend is verified address-for-address against
+    the reference on the full probe set before any timing is recorded,
+    and the packed backend's memory footprint is reported per prefix
+    (bytes/prefix is the figure the cache-aware papers compare on).
+    The acceptance floor: packed >= 2x reference lookups/sec.
+    """
+    from repro.core.packed import PackedBackend
+    from repro.core.trie import FibTrie
+
+    prefix_count = scaled(200_000, minimum=2_000)
+    rng = random.Random(BENCH_SEED + 4)
+    registry = NexthopRegistry()
+    nexthops = registry.create_many(8)
+    # Same pinned first-octet spread as the sharded snapshot bench.
+    profile = TableProfile(allocated_fraction=0.85, allocated_runs=40)
+    table = generate_table(prefix_count, nexthops, rng, profile=profile)
+
+    reference = FibTrie(32)
+    sharded = ShardedBackend(32)
+    packed = PackedBackend(32)
+    for prefix, nexthop in table.items():
+        reference.set_ot(prefix, nexthop)
+        sharded.set_ot(prefix, nexthop)
+        packed.set_ot(prefix, nexthop)
+
+    # Probe set: half uniform-random addresses, half inside live
+    # prefixes (hit-heavy), fixed across backends and repeats.
+    prefixes = list(table)
+    addresses = [rng.getrandbits(32) for _ in range(10_000)]
+    for _ in range(10_000):
+        prefix = prefixes[rng.randrange(len(prefixes))]
+        span = 1 << (32 - prefix.length)
+        addresses.append(prefix.value + rng.randrange(span))
+
+    # Correctness fencing before timing: all backends, every probe.
+    for address in addresses:
+        expected = reference.lookup_ot(address)
+        assert sharded.lookup_ot(address) == expected
+        assert packed.lookup_ot(address) == expected
+
+    def race(lookup) -> float:
+        best = float("inf")
+        for _ in range(REPEATS):
+            started = time.perf_counter()
+            for address in addresses:
+                lookup(address)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    reference_s = race(reference.lookup_ot)
+    sharded_s = race(sharded.lookup_ot)
+    packed_s = race(packed.lookup_ot)
+
+    probes = len(addresses)
+    speedup_vs_reference = reference_s / packed_s
+    stats = packed.packed_stats()
+    _record(
+        "lookup_packed",
+        {
+            "workload": (
+                f"{probes} LPM lookups (50% random / 50% hit-heavy) over a "
+                f"{len(table)}-prefix DFZ-profile table (200k x REPRO_SCALE)"
+            ),
+            "reference_s": round(reference_s, 6),
+            "sharded_s": round(sharded_s, 6),
+            "packed_s": round(packed_s, 6),
+            "reference_lookups_per_s": round(probes / reference_s, 1),
+            "sharded_lookups_per_s": round(probes / sharded_s, 1),
+            "packed_lookups_per_s": round(probes / packed_s, 1),
+            "packed_speedup_vs_reference": round(speedup_vs_reference, 2),
+            "packed_speedup_vs_sharded": round(sharded_s / packed_s, 2),
+            "packed_ot_bytes": stats["ot_bytes"],
+            "packed_bytes_per_prefix": round(
+                stats["ot_bytes"] / len(table), 1
+            ),
+            "packed_live_slots": stats["ot_live_slots"],
+            "reference_nodes": reference.node_count(),
+        },
+    )
+    packed.close()
+    sharded.close()
+    assert speedup_vs_reference >= 2.0, (
+        f"packed lookup speedup {speedup_vs_reference:.2f}x below the "
+        "2x floor"
+    )
+
+
 def test_bench_burst_coalescing_ratio(bench_table, burst_trace):
     """Net ops per burst after coalescing — how much work batching removes."""
     table, _ = bench_table

@@ -8,7 +8,10 @@ directly — every read and mutation goes through the surface captured by
   pointer-chasing structure over the whole prefix space;
 - :class:`~repro.core.shards.ShardedBackend` — fixed /8 subtries spliced
   under a tiny root table, with the ORTC snapshot fanned out per shard
-  (optionally onto a process pool).
+  (optionally onto a process pool);
+- :class:`~repro.core.packed.PackedBackend` — the reference trie as a
+  shadow plus level-compressed, array-packed OT/AT lookup planes (flat
+  stride tables, no per-node objects on the LPM hot path).
 
 Selection is by name through :func:`make_backend`; the default comes
 from the ``SMALTA_BACKEND`` environment variable so the whole tier-1
@@ -29,6 +32,7 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.core.packed import PackedBackend
 from repro.core.shards import ShardedBackend
 from repro.core.trie import FibTrie, Node
 from repro.net.nexthop import Nexthop
@@ -39,6 +43,7 @@ from repro.obs.observability import Observability
 BACKEND_ENV_VAR = "SMALTA_BACKEND"
 SINGLE_BACKEND = "single"
 SHARDED_BACKEND = "sharded"
+PACKED_BACKEND = "packed"
 
 
 @runtime_checkable
@@ -134,9 +139,16 @@ def _make_sharded(
     return ShardedBackend(width, obs=obs, **options)  # type: ignore[arg-type]
 
 
+def _make_packed(
+    width: int, obs: Optional[Observability] = None, **options: object
+) -> FibTrie:
+    return PackedBackend(width, obs=obs, **options)  # type: ignore[arg-type]
+
+
 _FACTORIES: dict[str, Callable[..., FibTrie]] = {
     SINGLE_BACKEND: _make_single,
     SHARDED_BACKEND: _make_sharded,
+    PACKED_BACKEND: _make_packed,
 }
 
 BACKEND_NAMES = tuple(sorted(_FACTORIES))
@@ -161,11 +173,16 @@ def make_backend(
     """Construct a trie backend by name (None → ``$SMALTA_BACKEND``).
 
     ``options`` are backend-specific knobs — the sharded backend accepts
-    ``boundary``, ``snapshot_workers`` and ``force_stitch``.
+    ``boundary``, ``snapshot_workers`` and ``force_stitch``; the packed
+    backend accepts ``strides``.
     """
     return _FACTORIES[resolve_backend_name(name)](width, obs=obs, **options)
 
 
 def backend_name_of(backend: FibTrie) -> str:
     """The selection name a live backend instance answers to."""
-    return SHARDED_BACKEND if isinstance(backend, ShardedBackend) else SINGLE_BACKEND
+    if isinstance(backend, ShardedBackend):
+        return SHARDED_BACKEND
+    if isinstance(backend, PackedBackend):
+        return PACKED_BACKEND
+    return SINGLE_BACKEND

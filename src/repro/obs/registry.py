@@ -185,7 +185,12 @@ class Histogram:
             raise ValueError("quantile must be in [0, 1]")
         if self.count == 0:
             return 0.0
-        rank = quantile * self.count
+        # Rank of the selected sample, floored at 1: with rank 0 the
+        # ``running >= rank`` test below is vacuously true at the first
+        # bucket, so q=0.0 answered bounds[0] even when every sample sat
+        # in a later (or the +Inf) bucket. The 0th percentile is the
+        # minimum sample's bucket — the first *non-empty* one.
+        rank = max(quantile * self.count, 1.0)
         running = 0
         for bound, bucket in zip(self.bounds, self.bucket_counts):
             running += bucket

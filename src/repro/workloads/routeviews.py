@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
 
 from repro.net.nexthop import Nexthop, NexthopRegistry, RoundRobinIgpMapper
 from repro.net.prefix import Prefix
@@ -41,6 +43,114 @@ ROUTEVIEWS_TABLE_SIZES: dict[int, int] = {
 #: Number of RouteViews feeds in 2006 (paper: "48, the total number of
 #: BGP nexthops for the routeviews collection in 2006").
 PEER_COUNT_2006 = 48
+
+
+@dataclass
+class DumpStats:
+    """What :func:`load_routeviews_dump` saw while parsing one file."""
+
+    #: Total lines read, comments and blanks included.
+    lines: int = 0
+    #: Routes installed in the table (first line per prefix wins).
+    routes: int = 0
+    #: Later routes for an already-seen prefix (RIB dumps carry one line
+    #: per peer; the best path is printed first).
+    duplicates: int = 0
+    #: Malformed lines tolerated by ``strict=False``.
+    skipped: int = 0
+    #: ``(line_number, reason)`` for every skipped line, in file order.
+    skipped_lines: list[tuple[int, str]] = field(default_factory=list)
+
+
+def _parse_dump_line(line: str) -> tuple[str, str]:
+    """``(prefix_text, nexthop_name)`` from one dump line.
+
+    Two shapes are accepted:
+
+    - ``bgpdump -m`` pipe format (real RouteViews RIBs)::
+
+        TABLE_DUMP2|1142294400|B|12.0.1.63|7018|10.0.0.0/8|7018 3356|IGP|12.123.1.236|...
+
+      — the prefix is field 5, the BGP nexthop field 8;
+    - plain whitespace pairs (``10.0.0.0/8 peer3``), the repo's own
+      table shorthand.
+
+    Raises :class:`ValueError` with a reason (no line number — the
+    caller owns file context) for anything else, *including* truncated
+    pipe lines, which otherwise surface as index errors mid-parse.
+    """
+    if "|" in line:
+        parts = line.split("|")
+        if parts[0] not in ("TABLE_DUMP", "TABLE_DUMP2"):
+            raise ValueError(f"unknown MRT record type {parts[0]!r}")
+        if len(parts) < 9:
+            raise ValueError(
+                f"truncated MRT line: {len(parts)} fields, need at least 9"
+            )
+        if parts[2] != "B":
+            raise ValueError(f"not a RIB entry (subtype {parts[2]!r})")
+        prefix_text, nexthop_name = parts[5], parts[8]
+    else:
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(
+                f"expected 'prefix nexthop', got {len(parts)} fields"
+            )
+        prefix_text, nexthop_name = parts
+    if not nexthop_name:
+        raise ValueError("empty nexthop field")
+    return prefix_text, nexthop_name
+
+
+def load_routeviews_dump(
+    path: Union[str, Path],
+    registry: NexthopRegistry | None = None,
+    *,
+    strict: bool = True,
+) -> tuple[dict[Prefix, Nexthop], NexthopRegistry, DumpStats]:
+    """Parse a RouteViews table dump into a best-path table.
+
+    One line per (peer, prefix) route; the first route seen for a prefix
+    wins (RouteViews RIB walkers print the best path first), later ones
+    count as :attr:`DumpStats.duplicates`. Malformed or truncated lines
+    raise one :class:`ValueError` naming the file, line number, and
+    offending text; with ``strict=False`` they are skipped and counted
+    in :attr:`DumpStats.skipped` / :attr:`DumpStats.skipped_lines`
+    instead. Nexthops are interned through ``registry`` (created fresh
+    when not given), so the table is self-contained like
+    :func:`~repro.workloads.trace_io.load_table`'s.
+    """
+    registry = registry if registry is not None else NexthopRegistry()
+    table: dict[Prefix, Nexthop] = {}
+    stats = DumpStats()
+    with open(path, encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, 1):
+            stats.lines += 1
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                prefix_text, nexthop_name = _parse_dump_line(line)
+                prefix = Prefix.from_string(prefix_text)
+            except ValueError as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_number}: bad routeviews line "
+                        f"{line!r}: {exc}"
+                    ) from None
+                stats.skipped += 1
+                stats.skipped_lines.append((line_number, str(exc)))
+                continue
+            if prefix in table:
+                stats.duplicates += 1
+                continue
+            try:
+                nexthop = registry.by_name(nexthop_name)
+            except KeyError:
+                nexthop = registry.create(nexthop_name)
+            table[prefix] = nexthop
+            stats.routes += 1
+    return table, registry, stats
 
 
 @dataclass

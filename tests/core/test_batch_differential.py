@@ -19,9 +19,13 @@ AT/FIB. This is the machinery that keeps every perf refactor honest.
 
 A fourth axis crosses all of the above: every scenario replays on the
 **sharded** backend (8 subtries behind a /3 boundary at this width, with
-the stitched per-shard snapshot protocol forced on), which must produce
-*byte-identical* download streams and tables — not merely equivalent
-ones — against the reference single trie.
+the stitched per-shard snapshot protocol forced on) and on the **packed**
+backend (array-packed OT/AT lookup planes over a shadow trie), each of
+which must produce *byte-identical* download streams and tables — not
+merely equivalent ones — against the reference single trie. The packed
+replay additionally proves its incrementally patched arrays equal to a
+from-scratch rebuild and its LPM answers equal to the reference trie's
+over the whole address space.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.core.downloads import FibDownload
 from repro.core.equivalence import equivalence_counterexample
 from repro.core.manager import SmaltaManager
 from repro.core.ortc import ortc, ortc_from_trie
+from repro.core.packed import PackedBackend
 from repro.core.policy import PeriodicUpdateCountPolicy
 from repro.core.shards import ShardedBackend
 from repro.core.smalta import SmaltaState
@@ -85,12 +90,15 @@ def bursts_of(ops, boundaries):
 def make_state(backend: str) -> SmaltaState:
     """A fresh state on the named backend (sharded: /3 boundary → 8
     shards at width 6, stitched snapshots forced so the per-shard
-    protocol is exercised in-process on every scenario)."""
+    protocol is exercised in-process on every scenario; packed: stride
+    plan (3, 3) so the multi-level block machinery is exercised too)."""
     if backend == "sharded":
         return SmaltaState(
             WIDTH,
             backend=ShardedBackend(WIDTH, boundary=3, force_stitch=True),
         )
+    if backend == "packed":
+        return SmaltaState(WIDTH, backend=PackedBackend(WIDTH, strides=(3, 3)))
     return SmaltaState(WIDTH)
 
 
@@ -182,6 +190,38 @@ def check_agreement(ops, boundaries) -> None:
     # order, so ordering is part of download-log byte-identity.
     stitched = sharded_batched.trie.ortc_table(fast=True)
     assert list(stitched.items()) == list(ortc_from_trie(batched.trie).items())
+
+    # Packed backend differential: same byte-identity bar as sharded —
+    # sequential and batched replays, entry for entry.
+    packed_seq, packed_shadow, packed_seq_downloads = run_sequential(
+        ops, backend="packed"
+    )
+    assert packed_shadow == shadow
+    assert packed_seq_downloads == seq_downloads
+    assert packed_seq.ot_table() == shadow
+    assert packed_seq.at_table() == sequential.at_table()
+    packed_seq.verify()
+
+    packed_batched = make_state("packed")
+    packed_downloads: list[FibDownload] = []
+    for burst in bursts_of(ops, boundaries):
+        packed_downloads.extend(packed_batched.apply_batch(burst))
+    assert packed_downloads == downloads
+    assert packed_batched.ot_table() == shadow
+    assert packed_batched.at_table() == batched.at_table()
+    packed_batched.verify()
+
+    # The packed planes themselves: incremental patching ≡ rebuild from
+    # scratch, and the array LPM ≡ the reference trie's node walk over
+    # the entire width-6 address space, both label planes.
+    assert packed_batched.trie.packed_divergence() is None
+    for address in range(1 << WIDTH):
+        assert packed_batched.trie.lookup_ot(address) == batched.trie.lookup_ot(
+            address
+        )
+        assert packed_batched.trie.lookup_at(address) == batched.trie.lookup_at(
+            address
+        )
 
 
 @settings(

@@ -161,19 +161,22 @@ def check_metrics(manager: SmaltaManager, expected_counters: dict) -> None:
     registry = manager.obs.registry
     from repro.obs.registry import Counter, Gauge
 
-    # The shard-routing series exist only when $SMALTA_BACKEND selects
-    # the sharded backend (the CI matrix leg); they are implementation
-    # telemetry, not workload behaviour, so the freeze skips them.
+    # The shard-routing and packed-patch series exist only when
+    # $SMALTA_BACKEND selects those backends (the CI matrix legs); they
+    # are implementation telemetry, not workload behaviour, so the
+    # freeze skips them.
     counters = {
         i.key: int(i.value)
         for i in registry.collect()
-        if isinstance(i, Counter) and not i.key.startswith("smalta_shard")
+        if isinstance(i, Counter)
+        and not i.key.startswith(("smalta_shard", "smalta_packed"))
     }
     assert counters == expected_counters
     gauges = {
         i.key: int(i.value)
         for i in registry.collect()
-        if isinstance(i, Gauge) and not i.key.startswith("smalta_shard")
+        if isinstance(i, Gauge)
+        and not i.key.startswith(("smalta_shard", "smalta_packed"))
     }
     assert gauges == EXPECTED_GAUGES
     burst_hist = registry.get("smalta_snapshot_burst_size")
@@ -299,3 +302,70 @@ def test_golden_batched_sharded(golden):
     assert summary == reference.summary()
     assert sharded.log.downloads == reference.log.downloads
     sharded.close()
+
+
+# -- packed backend: same trace, same frozen numbers, same bytes -----------
+#
+# Third backend, same bar. The packed backend's internal representation
+# is the first that is NOT node-isomorphic to the reference trie (flat
+# stride arrays over a shadow), so this freeze is what proves the array
+# planes never leak into observable behaviour — and on top of it the
+# incremental patches must equal a from-scratch rebuild after the whole
+# flap-heavy trace.
+
+
+def _packed_manager(table) -> SmaltaManager:
+    manager = SmaltaManager(
+        width=32,
+        policy=PeriodicUpdateCountPolicy(SNAPSHOT_SPACING),
+        download_log=DownloadLog(keep_entries=True),
+        backend="packed",
+    )
+    assert manager.backend_name == "packed"
+    for prefix, nexthop in table.items():
+        manager.state.load(prefix, nexthop)
+    manager.end_of_rib()
+    return manager
+
+
+def test_golden_sequential_packed(golden):
+    table, trace = golden
+    reference = _reference_manager(table)
+    packed = _packed_manager(table)
+    for update in trace:
+        reference.apply(update)
+        packed.apply(update)
+    check_common(packed)
+    summary = packed.summary()
+    assert summary["update_downloads"] == EXPECTED_SEQUENTIAL_UPDATE_DOWNLOADS
+    assert summary == reference.summary()
+    assert packed.log.downloads == reference.log.downloads
+    assert packed.state.trie.packed_divergence() is None
+    packed.close()
+
+
+def test_golden_batched_packed(golden):
+    table, trace = golden
+    reference = _reference_manager(table)
+    packed = _packed_manager(table)
+    for burst in iter_bursts(trace, max_gap_s=0.02):
+        reference.apply_batch(burst)
+        packed.apply_batch(burst)
+    check_common(packed)
+    summary = packed.summary()
+    assert summary["update_downloads"] == EXPECTED_BATCH_UPDATE_DOWNLOADS
+    assert summary == reference.summary()
+    assert packed.log.downloads == reference.log.downloads
+    # The array planes answer exactly like the reference node walk on a
+    # spot-check probe set (the golden table's own covered addresses).
+    reference_trie = reference.state.trie
+    packed_trie = packed.state.trie
+    for prefix in list(packed.state.ot_table())[:50]:
+        for address in (prefix.value, prefix.value | (2 ** (32 - prefix.length) - 1)):
+            assert packed_trie.lookup_ot(address) == reference_trie.lookup_ot(
+                address
+            )
+            assert packed_trie.lookup_at(address) == reference_trie.lookup_at(
+                address
+            )
+    packed.close()

@@ -185,6 +185,18 @@ async def live_session() -> None:
         with pytest.raises(CtlError, match="already exists"):
             await client.call("tenant-add", name="r2")
 
+        # the packed backend threads through the same TenantConfig path
+        # and reports its resolved name over the wire
+        await client.call(
+            "tenant-add", name="r3", backend="packed", keep_entries=True
+        )
+        listing = await client.call("tenant-list")
+        assert {entry["backend"] for entry in listing} == {
+            "single",
+            "sharded",
+            "packed",
+        }
+
         # end-of-rib + feed: r1 sequential, r2 one burst then the rest
         await client.call("end-of-rib", tenant="r1")
         fed = await client.call(
@@ -207,15 +219,30 @@ async def live_session() -> None:
             await client.call(
                 "feed", tenant="r2", updates=[protocol.encode_update(update)]
             )
+        await client.call("end-of-rib", tenant="r3")
+        fed = await client.call(
+            "feed",
+            tenant="r3",
+            updates=[protocol.encode_update(u) for u in FEED],
+        )
+        assert fed == {"fed": len(FEED)}
         drained = await client.call("drain", tenant="r1")
         assert drained == {"drained": True, "queue_depth": 0}
         await client.call("drain", tenant="r2")
+        await client.call("drain", tenant="r3")
 
         # routes-dump: r1's FIB equals the batch pipeline's, via the wire
         expected_log, expected_fib = reference_log_and_fib(None)
         dump = await client.call("routes-dump", tenant="r1", table="fib")
         assert dump["routes"] == protocol.encode_table(expected_fib)
         assert daemon.tenants["r1"].download_log.downloads == expected_log
+        # packed tenant, same feed: byte-identical download log and FIB
+        assert daemon.tenants["r3"].download_log.downloads == expected_log
+        dump3 = await client.call("routes-dump", tenant="r3", table="fib")
+        assert dump3["routes"] == protocol.encode_table(expected_fib)
+        assert (await client.call("tenant-remove", name="r3")) == {
+            "removed": "r3"
+        }
         for table in ("ot", "at", "kernel"):
             result = await client.call("routes-dump", tenant="r1", table=table)
             assert result["table"] == table

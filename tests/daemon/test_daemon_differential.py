@@ -5,10 +5,11 @@ Every scenario shape of the core batch differential harness
 seeded 200-sequence generator, same burst partitions) replays through a
 hosted daemon tenant and must produce a download log **entry-for-entry
 identical** to a batch :class:`~repro.router.pipeline.RouterPipeline`
-run of the same feed. Both trie backends are crossed in every scenario:
-the reference single trie and the sharded backend (/3 boundary → 8
-shards at width 6, stitched snapshots forced), so one test run covers
-the full backend × path matrix regardless of ``SMALTA_BACKEND``.
+run of the same feed. Every trie backend is crossed in every scenario:
+the reference single trie, the sharded backend (/3 boundary → 8 shards
+at width 6, stitched snapshots forced), and the packed backend (3+3
+stride plan), so one test run covers the full backend × path matrix
+regardless of ``SMALTA_BACKEND``.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from hypothesis import strategies as st
 
 from repro.core.downloads import DownloadLog, FibDownload
 from repro.core.policy import PeriodicUpdateCountPolicy, SnapshotPolicy
+from repro.core.packed import PackedBackend
 from repro.core.shards import ShardedBackend
 from repro.core.trie import FibTrie
 from repro.daemon.server import AggregationDaemon
@@ -46,11 +48,13 @@ Op = tuple[Prefix, "Nexthop | None"]
 
 
 def make_backend_instance(backend: str) -> "str | FibTrie":
-    """Width-6 backends: the sharded flavor needs the explicit /3
-    boundary instance the core harness uses (the /8 default assumes
-    IPv4 widths)."""
+    """Width-6 backends: the sharded and packed flavors need the
+    explicit width-6 instances the core harness uses (the /8 boundary
+    and 16+8+8 stride defaults assume IPv4 widths)."""
     if backend == "sharded":
         return ShardedBackend(WIDTH, boundary=3, force_stitch=True)
+    if backend == "packed":
+        return PackedBackend(WIDTH, strides=(3, 3))
     return "single"
 
 
@@ -135,12 +139,15 @@ async def daemon_replay(
 
 def check_daemon_differential(ops: list[Op], boundaries: list[int]) -> None:
     """The full matrix for one scenario: {sequential, batched} ×
-    {single, sharded}, daemon log == pipeline log, byte for byte."""
+    {single, sharded, packed}, daemon log == pipeline log, byte for
+    byte."""
     scenarios: list[tuple[list[Op], Optional[list[int]], str]] = [
         (ops, None, "single"),
         (ops, boundaries, "single"),
         (ops, None, "sharded"),
         (ops, boundaries, "sharded"),
+        (ops, None, "packed"),
+        (ops, boundaries, "packed"),
     ]
     daemon_logs = asyncio.run(daemon_replay(scenarios))
     for (s_ops, s_boundaries, backend), daemon_log in zip(scenarios, daemon_logs):
@@ -149,10 +156,10 @@ def check_daemon_differential(ops: list[Op], boundaries: list[int]) -> None:
             f"daemon/pipeline download logs diverge "
             f"(backend={backend}, batched={s_boundaries is not None})"
         )
-    # The two backends must also agree with each other (transitivity
-    # makes this redundant — asserting it localizes a failure faster).
-    assert daemon_logs[0] == daemon_logs[2]
-    assert daemon_logs[1] == daemon_logs[3]
+    # The backends must also agree with each other (transitivity makes
+    # this redundant — asserting it localizes a failure faster).
+    assert daemon_logs[0] == daemon_logs[2] == daemon_logs[4]
+    assert daemon_logs[1] == daemon_logs[3] == daemon_logs[5]
 
 
 @settings(
@@ -201,8 +208,9 @@ def test_many_tenants_one_daemon_stay_isolated():
             else:
                 ops.append((prefix, None))
         feeds.append(ops)
+    flavors = ("single", "sharded", "packed")
     scenarios: list[tuple[list[Op], Optional[list[int]], str]] = [
-        (ops, None, "sharded" if index % 2 else "single")
+        (ops, None, flavors[index % len(flavors)])
         for index, ops in enumerate(feeds)
     ]
     daemon_logs = asyncio.run(daemon_replay(scenarios))

@@ -1,0 +1,226 @@
+"""Every lookup structure vs. the linear-scan oracle, edge cases pinned.
+
+ISSUE 9's bugfix sweep: fuzz ``FibTrie.lookup_ot``/``lookup_at``,
+``PackedBackend``'s array planes, ``PatriciaFib.lookup``, and
+``TreeBitmap.lookup`` against :class:`~repro.fib.linear.LinearFib` over
+random churn, with the adversarial addresses named by the issue always
+in the probe set: 0.0.0.0, 255.255.255.255, and exact /32 (full-width)
+hits. Deterministic seeds — this is the regression net, the exploratory
+campaign behind it ran much larger.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.packed import PackedBackend
+from repro.core.trie import FibTrie
+from repro.fib.linear import LinearFib
+from repro.fib.patricia import PatriciaFib
+from repro.fib.treebitmap import TreeBitmap
+from repro.net.nexthop import DROP, Nexthop
+from repro.net.prefix import Prefix
+
+NEXTHOPS = [Nexthop(i, f"nh{i}") for i in range(6)]
+
+
+def random_prefix(rng: random.Random, width: int, length: int) -> Prefix:
+    bits = rng.getrandbits(length) if length else 0
+    return Prefix(bits << (width - length), length, width)
+
+
+def edge_addresses(rng: random.Random, width: int, live: dict) -> list[int]:
+    """The probe set: all-zeros, all-ones, every live entry's first and
+    last covered address (which makes /width entries exact-hit probes),
+    one-off neighbours, and random fill."""
+    top = (1 << width) - 1
+    probes = {0, top}
+    for prefix in live:
+        lo = prefix.value
+        hi = prefix.value | ((1 << (width - prefix.length)) - 1)
+        probes.update(
+            (lo, hi, max(lo - 1, 0), min(hi + 1, top))
+        )
+    probes.update(rng.getrandbits(width) for _ in range(64))
+    return sorted(probes)
+
+
+def churn_against_oracle(width: int, seed: int, steps: int, structures) -> None:
+    """Apply identical random churn to the oracle and every structure,
+    probing full agreement on the edge-address set as it goes."""
+    rng = random.Random(seed)
+    oracle = LinearFib(width)
+    live: dict[Prefix, Nexthop] = {}
+    for step in range(steps):
+        # Bias toward the issue's suspects: default routes and /width.
+        length = rng.choice(
+            [0, 1, width - 1, width, width, rng.randint(0, width)]
+        )
+        prefix = random_prefix(rng, width, length)
+        if rng.random() < 0.65 or prefix not in live:
+            nexthop = rng.choice(NEXTHOPS)
+            oracle.insert(prefix, nexthop)
+            for insert, _, _ in structures:
+                insert(prefix, nexthop)
+            live[prefix] = nexthop
+        else:
+            oracle.delete(prefix)
+            for _, delete, _ in structures:
+                delete(prefix)
+            del live[prefix]
+        if step % 50 == 49 or step == steps - 1:
+            for address in edge_addresses(rng, width, live):
+                expected = oracle.lookup(address)
+                for _, _, lookup in structures:
+                    got = lookup(address)
+                    assert got == expected, (
+                        width,
+                        seed,
+                        step,
+                        address,
+                        got,
+                        expected,
+                    )
+
+
+def fib_structures(width: int):
+    patricia = PatriciaFib(width)
+    treebitmap = TreeBitmap(width, initial_stride=4, stride=4)
+    return [
+        (patricia.insert, patricia.delete, patricia.lookup),
+        (treebitmap.insert, treebitmap.delete, treebitmap.lookup),
+    ]
+
+
+def trie_structures(width: int):
+    """Both trie backends, OT and AT planes (AT driven via set_at so the
+    packed plane's paint path is exercised, not just the shadow)."""
+    reference = FibTrie(width)
+    packed = PackedBackend(width)
+
+    def insert(prefix: Prefix, nexthop: Nexthop) -> None:
+        for trie in (reference, packed):
+            trie.set_ot(prefix, nexthop)
+            trie.set_at(prefix, nexthop)
+
+    def delete(prefix: Prefix) -> None:
+        for trie in (reference, packed):
+            trie.set_ot(prefix, None)
+            trie.set_at(prefix, None)
+
+    def no_insert(prefix: Prefix, nexthop: Nexthop) -> None:
+        pass
+
+    def no_delete(prefix: Prefix) -> None:
+        pass
+
+    # One mutating tuple drives all four tries' planes; the rest only
+    # contribute their lookup to the probe loop.
+    return [
+        (insert, delete, reference.lookup_ot),
+        (no_insert, no_delete, reference.lookup_at),
+        (no_insert, no_delete, packed.lookup_ot),
+        (no_insert, no_delete, packed.lookup_at),
+    ]
+
+
+def test_fib_lookups_match_oracle_width32():
+    churn_against_oracle(32, seed=32001, steps=400, structures=fib_structures(32))
+
+
+def test_fib_lookups_match_oracle_width8_exhaustive():
+    width = 8
+    rng = random.Random(8001)
+    oracle = LinearFib(width)
+    patricia = PatriciaFib(width)
+    treebitmap = TreeBitmap(width, initial_stride=4, stride=2)
+    live: dict[Prefix, Nexthop] = {}
+    for step in range(300):
+        length = rng.choice([0, 1, 7, 8, rng.randint(0, width)])
+        prefix = random_prefix(rng, width, length)
+        if rng.random() < 0.6 or prefix not in live:
+            nexthop = rng.choice(NEXTHOPS)
+            for fib in (oracle, patricia, treebitmap):
+                fib.insert(prefix, nexthop)
+            live[prefix] = nexthop
+        else:
+            for fib in (oracle, patricia, treebitmap):
+                fib.delete(prefix)
+            del live[prefix]
+        if step % 25 == 24:
+            for address in range(1 << width):  # the whole address space
+                expected = oracle.lookup(address)
+                assert patricia.lookup(address) == expected, (step, address)
+                assert treebitmap.lookup(address) == expected, (step, address)
+
+
+def test_trie_lookups_match_oracle_width32():
+    churn_against_oracle(
+        32, seed=32002, steps=300, structures=trie_structures(32)
+    )
+
+
+def test_default_route_only():
+    """0.0.0.0/0 alone: every address answers it, in every structure."""
+    width = 32
+    default = Prefix.root(width)
+    nexthop = NEXTHOPS[3]
+    patricia = PatriciaFib(width)
+    treebitmap = TreeBitmap(width)
+    trie = FibTrie(width)
+    packed = PackedBackend(width)
+    patricia.insert(default, nexthop)
+    treebitmap.insert(default, nexthop)
+    trie.set_ot(default, nexthop)
+    packed.set_ot(default, nexthop)
+    for address in (0, 1, 2**31, 2**32 - 2, 2**32 - 1):
+        assert patricia.lookup(address) == nexthop
+        assert treebitmap.lookup(address) == nexthop
+        assert trie.lookup_ot(address) == nexthop
+        assert packed.lookup_ot(address) == nexthop
+    # Withdraw it: everything must fall back to DROP.
+    patricia.delete(default)
+    treebitmap.delete(default)
+    trie.set_ot(default, None)
+    packed.set_ot(default, None)
+    for address in (0, 2**32 - 1):
+        assert patricia.lookup(address) is DROP
+        assert treebitmap.lookup(address) is DROP
+        assert trie.lookup_ot(address) is DROP
+        assert packed.lookup_ot(address) is DROP
+
+
+def test_exact_host_route_hits():
+    """/32 entries: the exact address hits, both neighbours miss to the
+    covering route (or DROP), at the space's very edges included."""
+    width = 32
+    cover = Prefix.from_string("0.0.0.0/0")
+    hosts = [0, 1, 2**31, 2**32 - 2, 2**32 - 1]
+    patricia = PatriciaFib(width)
+    treebitmap = TreeBitmap(width)
+    trie = FibTrie(width)
+    packed = PackedBackend(width)
+    structures = [
+        (patricia.insert, patricia.lookup),
+        (treebitmap.insert, treebitmap.lookup),
+        (lambda p, n: trie.set_ot(p, n) and None, trie.lookup_ot),
+        (lambda p, n: packed.set_ot(p, n) and None, packed.lookup_ot),
+    ]
+    host_nh = NEXTHOPS[1]
+    cover_nh = NEXTHOPS[2]
+    for insert, _ in structures:
+        insert(cover, cover_nh)
+        for address in hosts:
+            insert(Prefix.of_address(address, width), host_nh)
+    oracle = LinearFib(width)
+    oracle.insert(cover, cover_nh)
+    for address in hosts:
+        oracle.insert(Prefix.of_address(address, width), host_nh)
+    probes = set(hosts)
+    for address in hosts:
+        probes.update((max(address - 1, 0), min(address + 1, 2**32 - 1)))
+    for address in sorted(probes):
+        expected = oracle.lookup(address)
+        assert expected == (host_nh if address in hosts else cover_nh)
+        for _, lookup in structures:
+            assert lookup(address) == expected, address

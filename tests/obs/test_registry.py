@@ -91,6 +91,51 @@ class TestHistogram:
         with pytest.raises(ValueError):
             h.percentile(1.5)
 
+    def test_percentile_empty_histogram_all_quantiles(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for quantile in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.percentile(quantile) == 0.0
+
+    def test_percentile_q0_is_first_nonempty_bucket(self):
+        """q=0.0 names the minimum sample's bucket — not bounds[0].
+
+        Regression: a zero rank made ``running >= rank`` vacuously true
+        at bucket 0, so q=0.0 answered bounds[0] even when bucket 0 was
+        empty.
+        """
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(3.0)  # lands in the (2.0, 4.0] bucket
+        assert h.percentile(0.0) == 4.0
+        assert h.percentile(1.0) == 4.0
+
+    def test_percentile_q0_all_overflow_is_inf(self):
+        """All samples past the last bound: every quantile, q=0.0
+        included, must answer +Inf (nothing lives in a finite bucket)."""
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(5.0)
+        h.observe(100.0)
+        for quantile in (0.0, 0.5, 1.0):
+            assert h.percentile(quantile) == math.inf
+
+    def test_percentile_exact_bounds_pinned(self):
+        """Exact expected upper bounds across the quantile range for a
+        mixed finite/overflow population: 2 samples ≤ 1.0, 3 in
+        (1.0, 2.0], 1 in (2.0, 4.0], 2 overflow (count 8)."""
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.2, 1.0, 1.4, 1.5, 2.0, 3.9, 7.0, 9.0):
+            h.observe(value)
+        expected = [
+            (0.0, 1.0),  # rank floors at sample 1 → first bucket
+            (0.25, 1.0),  # rank 2.0 → cumulative 2 at bound 1.0
+            (0.5, 2.0),  # rank 4.0 → cumulative 5 at bound 2.0
+            (0.625, 2.0),  # rank 5.0 → still inside (1.0, 2.0]
+            (0.75, 4.0),  # rank 6.0 → cumulative 6 at bound 4.0
+            (0.875, math.inf),  # rank 7.0 → overflow bucket
+            (1.0, math.inf),  # maximum sample overflowed
+        ]
+        for quantile, bound in expected:
+            assert h.percentile(quantile) == bound, (quantile, bound)
+
     def test_default_bucket_tables_are_increasing(self):
         for table in (LATENCY_BUCKETS_S, SIZE_BUCKETS):
             assert list(table) == sorted(table)

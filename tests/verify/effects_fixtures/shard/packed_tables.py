@@ -1,0 +1,38 @@
+"""REPRO015 fixtures in the packed-rebuild idiom: stride-table state.
+
+The tempting-but-wrong version of a packed trie backend keeps its flat
+stride arrays (or a rebuild scratch buffer) at module level "to reuse
+allocations". Two manager entry points patching that shared state is
+exactly the shard-escape shape — concurrent shard updates would corrupt
+the arrays. The clean variant owns its arrays per instance.
+"""
+
+STRIDE_CACHE: dict = {}  # shared scratch: written from two entries
+REBUILD_COUNTS: list = []  # single-writer telemetry: clean
+
+
+class SmaltaManager:
+    def __init__(self):
+        self._values = []
+        self._lens = []
+
+    def apply(self, update):
+        # entry point #1 patches the module-level stride cache
+        STRIDE_CACHE[update] = len(self._values)
+        self._values.append(update)
+
+    def snapshot_now(self):
+        # entry point #2 rebuilds through the same shared scratch
+        STRIDE_CACHE.clear()
+        return list(self._values)
+
+    def end_of_rib(self):
+        # instance-owned arrays are the clean packed idiom
+        self._lens = [-1] * len(self._values)
+
+    def _note_rebuild(self):
+        REBUILD_COUNTS.append(len(self._lens))
+
+    def audits_run(self):
+        self._note_rebuild()
+        return len(REBUILD_COUNTS)

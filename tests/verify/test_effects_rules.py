@@ -167,6 +167,22 @@ class TestShardEscape:
         reported = symbols(run("shard", "REPRO015"))
         assert "workers.LAST_ERROR" not in reported
 
+    def test_packed_stride_cache_escape_reported(self) -> None:
+        """The packed-rebuild failure mode: module-level stride arrays
+        shared "to reuse allocations" get patched from two manager
+        entry points — shard-concurrent updates would corrupt them."""
+        findings = run("shard", "REPRO015")
+        assert "packed_tables.STRIDE_CACHE" in symbols(findings)
+        (finding,) = [
+            f for f in findings if f.symbol == "packed_tables.STRIDE_CACHE"
+        ]
+        assert "packed_tables.SmaltaManager.apply" in finding.message
+        assert "packed_tables.SmaltaManager.snapshot_now" in finding.message
+
+    def test_packed_instance_arrays_and_telemetry_are_clean(self) -> None:
+        reported = symbols(run("shard", "REPRO015"))
+        assert "packed_tables.REBUILD_COUNTS" not in reported
+
 
 class TestUnpicklableCapture:
     def test_lambda_and_closure_captures_reported(self) -> None:
@@ -228,6 +244,26 @@ class TestImpureSnapshotPath:
 
     def test_suppression_waives_the_root(self) -> None:
         assert "waived.snapshot" not in symbols(run("snap", "REPRO017"))
+
+    def test_packed_rebuild_impurities_reported(self) -> None:
+        """The packed-rebuild failure modes: paint-order salting (rng)
+        and paint-progress logging (io) reachable from snapshot roots."""
+        findings = run("snap", "REPRO017")
+        reported = symbols(findings)
+        assert "packed_rebuild.snapshot" in reported
+        assert "packed_rebuild.ortc_from_trie" in reported
+        io_findings = [
+            f
+            for f in findings
+            if f.symbol == "packed_rebuild.snapshot"
+            and "via packed_rebuild._paint_range" in f.message
+        ]
+        assert len(io_findings) == 1
+
+    def test_packed_pure_rebuild_is_clean(self) -> None:
+        assert "packed_rebuild.snapshot_now" not in symbols(
+            run("snap", "REPRO017")
+        )
 
 
 class TestCatalogAndRepo:

@@ -1,0 +1,108 @@
+"""Regression tests for the RouteViews dump parser.
+
+The contract under test: a malformed or truncated line surfaces as ONE
+clear ``ValueError`` carrying the file path, line number, and offending
+text — never an index error from inside the field split — and
+``strict=False`` downgrades exactly those lines to skip-and-count.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.workloads.routeviews import load_routeviews_dump
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+
+class TestHealthyDump:
+    def test_mixed_formats_parse(self):
+        table, registry, stats = load_routeviews_dump(
+            DATA / "routeviews_mixed.txt"
+        )
+        assert stats.routes == len(table) == 5
+        assert stats.duplicates == 2  # one per-peer dup in each format
+        assert stats.skipped == 0 and stats.skipped_lines == []
+        # First line per prefix wins: the best path is printed first.
+        assert table[Prefix.from_string("10.0.0.0/8")].name == "12.123.1.236"
+        assert table[Prefix.from_string("192.168.0.0/16")].name == "peer-a"
+        # Nexthops are interned: both routes through peer-b share one.
+        assert table[Prefix.from_string("172.16.0.0/12")] is registry.by_name(
+            "peer-b"
+        )
+
+    def test_registry_reuse(self):
+        table1, registry, _ = load_routeviews_dump(
+            DATA / "routeviews_mixed.txt"
+        )
+        table2, registry2, _ = load_routeviews_dump(
+            DATA / "routeviews_mixed.txt", registry
+        )
+        assert registry2 is registry
+        assert table1 == table2
+
+
+class TestMalformedStrict:
+    def test_garbled_line_raises_with_line_number(self):
+        with pytest.raises(ValueError) as excinfo:
+            load_routeviews_dump(DATA / "routeviews_garbled.txt")
+        message = str(excinfo.value)
+        assert "routeviews_garbled.txt:5:" in message
+        assert "10.999.0.0/16 peer-a" in message
+
+    def test_truncated_line_raises_not_index_error(self):
+        # The truncated record must NOT escape as IndexError mid-parse.
+        with pytest.raises(ValueError) as excinfo:
+            load_routeviews_dump(DATA / "routeviews_truncated.txt")
+        message = str(excinfo.value)
+        assert "routeviews_truncated.txt:5:" in message
+        assert "truncated" in message
+
+    @pytest.mark.parametrize(
+        "line, reason_fragment",
+        [
+            ("10.0.0.0 peer", "missing /length"),
+            ("10.0.0.0/8", "fields"),
+            ("10.0.0.0/8 a b", "fields"),
+            ("300.0.0.0/8 peer", "octet"),
+            ("10.0.0.0/40 peer", "length"),
+            ("BGP4MP|1|B|x|1|10.0.0.0/8|1|IGP|x|0|0||NAG||", "record type"),
+            ("TABLE_DUMP2|1|A|x|1|10.0.0.0/8|1|IGP|x|0|0||NAG||", "subtype"),
+            ("TABLE_DUMP2|1|B|x", "truncated"),
+            ("TABLE_DUMP2|1|B|x|1|10.0.0.0/8|1|IGP||0|0||NAG||", "empty nexthop"),
+        ],
+    )
+    def test_each_malformation_is_a_clear_valueerror(
+        self, tmp_path, line, reason_fragment
+    ):
+        dump = tmp_path / "dump.txt"
+        dump.write_text(f"10.0.0.0/8 good\n{line}\n", encoding="utf-8")
+        with pytest.raises(ValueError) as excinfo:
+            load_routeviews_dump(dump)
+        message = str(excinfo.value)
+        assert f"{dump}:2:" in message
+        assert reason_fragment in message
+
+
+class TestLenientMode:
+    def test_garbled_dump_skips_and_counts(self):
+        table, _, stats = load_routeviews_dump(
+            DATA / "routeviews_garbled.txt", strict=False
+        )
+        assert stats.routes == len(table) == 2  # the two good plain lines
+        assert stats.skipped == 4
+        assert [number for number, _ in stats.skipped_lines] == [5, 6, 7, 8]
+        assert table[Prefix.from_string("10.0.0.0/8")].name == "peer-a"
+        assert table[Prefix.from_string("192.168.0.0/16")].name == "peer-b"
+
+    def test_truncated_dump_keeps_complete_records(self):
+        table, _, stats = load_routeviews_dump(
+            DATA / "routeviews_truncated.txt", strict=False
+        )
+        assert stats.routes == len(table) == 2
+        assert stats.skipped == 1
+        (number, reason) = stats.skipped_lines[0]
+        assert number == 5 and "truncated" in reason
