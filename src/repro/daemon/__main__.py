@@ -122,6 +122,13 @@ async def _serve(
         for feeder in feeders:
             if not feeder.done():
                 feeder.cancel()
+        # Join the feeders so a replay failure surfaces instead of being
+        # swallowed with the cancelled handle (CancelledError itself is
+        # BaseException and stays silent — cancelling them is the plan).
+        results = await asyncio.gather(*feeders, return_exceptions=True)
+        for (name, _updates), result in zip(replays, results):
+            if isinstance(result, Exception):
+                print(f"replay into {name!r} failed: {result}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

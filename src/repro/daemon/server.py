@@ -57,6 +57,9 @@ class AggregationDaemon:
         self.tenants: dict[str, Tenant] = {}
         self._control: Optional[asyncio.AbstractServer] = None
         self._metrics: Optional[asyncio.AbstractServer] = None
+        #: Claimed synchronously by ``start()`` before its first await so
+        #: two concurrent ``start()`` calls cannot both pass the check.
+        self._active = False
         #: Open control connections, closed explicitly by ``stop()`` so
         #: loop teardown never cancels a handler mid-read.
         self._connections: set[asyncio.StreamWriter] = set()
@@ -133,17 +136,28 @@ class AggregationDaemon:
         self, host: str = "127.0.0.1", control_port: int = 0, metrics_port: int = 0
     ) -> None:
         """Bind both sockets and start every not-yet-started tenant."""
-        if self._control is not None:
+        if self._active:
             raise RuntimeError("daemon already started")
-        for tenant in self.tenants.values():
-            if not tenant.running:
-                tenant.start()
-        self._control = await asyncio.start_server(
-            self._handle_control, host, control_port
-        )
-        self._metrics = await asyncio.start_server(
-            self._handle_scrape, host, metrics_port
-        )
+        self._active = True
+        control: Optional[asyncio.AbstractServer] = None
+        try:
+            for tenant in self.tenants.values():
+                if not tenant.running:
+                    tenant.start()
+            control = await asyncio.start_server(
+                self._handle_control, host, control_port
+            )
+            metrics = await asyncio.start_server(
+                self._handle_scrape, host, metrics_port
+            )
+        except BaseException:
+            if control is not None:
+                control.close()
+                await control.wait_closed()
+            self._active = False
+            raise
+        self._control = control
+        self._metrics = metrics
         self._started_at = self._clock()
 
     def _bound_port(self, server: Optional[asyncio.AbstractServer]) -> int:
@@ -180,6 +194,7 @@ class AggregationDaemon:
         await asyncio.sleep(0)
         self._control = None
         self._metrics = None
+        self._active = False
 
     async def serve_until_shutdown(self) -> None:
         """Block until a ``shutdown`` command arrives, then stop."""

@@ -135,12 +135,20 @@ class Tenant:
         return self._consumer is not None and not self._consumer.done()
 
     async def stop(self) -> None:
-        """Stop accepting feed items, drain what's queued, join the task."""
-        if self._consumer is None:
+        """Stop accepting feed items, drain what's queued, join the task.
+
+        Safe under concurrent callers: the consumer handle is read into
+        a local before the first await, and the STOP sentinel is queued
+        exactly once (``_stopping`` is checked and claimed in the same
+        scheduling slice), so late callers simply join the same task.
+        """
+        consumer = self._consumer
+        if consumer is None:
             return
-        self._stopping = True
-        await self._queue.put(FeedItem(FeedKind.STOP))
-        await self._consumer
+        if not self._stopping:
+            self._stopping = True
+            await self._queue.put(FeedItem(FeedKind.STOP))
+        await consumer
         self._consumer = None
 
     def close(self) -> None:

@@ -1,15 +1,16 @@
 """The umbrella front end: ``python -m repro.verify``.
 
-One invocation runs all three static passes — lint (REPRO001-006), flow
-(REPRO007-012), effects (REPRO013-017) — over a *single* parse of the
-repo: the shared :func:`repro.verify.config.load_sources` pass feeds
-every analyzer, and the :class:`~repro.verify.cache.AnalysisCache`
-makes warm reruns skip unchanged files entirely.
+One invocation runs every static pass — lint (REPRO001-006), flow
+(REPRO007-012), effects (REPRO013-017), interleave (REPRO018-023) —
+over a *single* parse of the repo: the shared
+:func:`repro.verify.config.load_sources` pass feeds every analyzer,
+and the :class:`~repro.verify.cache.AnalysisCache` makes warm reruns
+skip unchanged files entirely.
 
-The per-pass entry points (``python -m repro.verify.lint`` /
-``.flow`` / ``.effects``) stay available as thin aliases; this CLI is
-what CI and pre-commit run. Exit contract: **0** clean, **1** new
-findings, **2** usage error.
+The per-pass entry points (``python -m repro.verify.lint`` / ``.flow``
+/ ``.effects`` / ``.interleave``) stay available as thin aliases; this
+CLI is what CI and pre-commit run. Exit contract: **0** clean, **1**
+new findings, **2** usage error.
 
 ``--diff BASE`` is the pull-request fast mode: findings are restricted
 to the files changed since ``BASE`` plus every module that (transitively)
@@ -46,6 +47,9 @@ from repro.verify.flow.report import (
 )
 from repro.verify.flow.rules import RULES as FLOW_RULES
 from repro.verify.flow.rules import analyze as flow_analyze
+from repro.verify.interleave.cli import BASELINE_NAME as INTERLEAVE_BASELINE_NAME
+from repro.verify.interleave.rules import RULES as INTERLEAVE_RULES
+from repro.verify.interleave.rules import analyze_interleave
 
 #: Default analysis roots, relative to the repo root.
 DEFAULT_ROOTS = ("src/repro", "examples")
@@ -53,14 +57,18 @@ DEFAULT_ROOTS = ("src/repro", "examples")
 LINT_CODES = frozenset(lint_mod.RULES)
 FLOW_CODES = frozenset(FLOW_RULES)
 EFFECT_CODES = frozenset(EFFECT_RULES)
-ALL_CODES = LINT_CODES | FLOW_CODES | EFFECT_CODES
+INTERLEAVE_CODES = frozenset(INTERLEAVE_RULES)
+ALL_CODES = LINT_CODES | FLOW_CODES | EFFECT_CODES | INTERLEAVE_CODES
 
 
 def rule_index() -> dict[str, str]:
-    """Merged code -> one-line summary across all three passes."""
+    """Merged code -> one-line summary across all passes."""
     merged = dict(lint_mod.RULES)
     merged.update({code: spec.summary for code, spec in FLOW_RULES.items()})
     merged.update({code: spec.summary for code, spec in EFFECT_RULES.items()})
+    merged.update(
+        {code: spec.summary for code, spec in INTERLEAVE_RULES.items()}
+    )
     return merged
 
 
@@ -151,8 +159,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.verify",
         description=(
             "Combined SMALTA static verification: lint (REPRO001-006) + "
-            "flow (REPRO007-012) + effects (REPRO013-017) over a single "
-            "shared parse pass with an incremental content-hash cache."
+            "flow (REPRO007-012) + effects (REPRO013-017) + interleave "
+            "(REPRO018-023) over a single shared parse pass with an "
+            "incremental content-hash cache."
         ),
     )
     parser.add_argument(
@@ -232,7 +241,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     root = find_repo_root(paths[0])
     cache: Optional[AnalysisCache] = default_cache(paths)
 
-    # -- one parse pass, one symbol table, shared by all three passes ----
+    # -- one parse pass, one symbol table, shared by every pass ----------
     sources = load_sources(paths, cache)
     project = Project.load(paths, sources=sources, cache=cache)
     graph = CallGraph.build(project)
@@ -242,6 +251,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run_lint = select is None or bool(select & LINT_CODES)
     run_flow = select is None or bool(select & FLOW_CODES)
     run_effects = select is None or bool(select & EFFECT_CODES)
+    run_interleave = select is None or bool(select & INTERLEAVE_CODES)
     if run_lint and not args.write_baseline:
         lint_select = set(select & LINT_CODES) if select is not None else None
         errors = lint_mod.lint_paths(
@@ -268,14 +278,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             project=project,
             graph=graph,
         )
+    interleave_findings: list[Finding] = []
+    if run_interleave:
+        interleave_findings = analyze_interleave(
+            paths,
+            select=(select & INTERLEAVE_CODES) if select is not None else None,
+            sources=sources,
+            cache=cache,
+            project=project,
+            graph=graph,
+        )
 
     if args.write_baseline:
         base = root or Path.cwd()
         write_baseline(base / FLOW_BASELINE_NAME, flow_findings)
         write_baseline(base / EFFECTS_BASELINE_NAME, effect_findings)
+        write_baseline(base / INTERLEAVE_BASELINE_NAME, interleave_findings)
         print(
-            f"wrote {len(flow_findings)} flow and {len(effect_findings)} "
-            f"effects fingerprint(s) under {base}"
+            f"wrote {len(flow_findings)} flow, {len(effect_findings)} "
+            f"effects, and {len(interleave_findings)} interleave "
+            f"fingerprint(s) under {base}"
         )
         return 0
 
@@ -283,14 +305,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if root is not None:
         flow_known = load_baseline(root / FLOW_BASELINE_NAME)
         effects_known = load_baseline(root / EFFECTS_BASELINE_NAME)
+        interleave_known = load_baseline(root / INTERLEAVE_BASELINE_NAME)
         flow_findings = [
             f for f in flow_findings if f.fingerprint() not in flow_known
         ]
         effect_findings = [
             f for f in effect_findings if f.fingerprint() not in effects_known
         ]
+        interleave_findings = [
+            f
+            for f in interleave_findings
+            if f.fingerprint() not in interleave_known
+        ]
     findings.extend(flow_findings)
     findings.extend(effect_findings)
+    findings.extend(interleave_findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
 
     if args.diff is not None and root is not None:

@@ -1,0 +1,8 @@
+"""``python -m repro.verify.interleave`` entry point."""
+
+import sys
+
+from repro.verify.interleave.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""REPRO023 negatives: queue-routed control, disjoint state, no task."""
+
+import asyncio
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._position = 0
+        self._requests = 0
+        self._task: object = None
+
+    def start(self) -> None:
+        self._task = asyncio.get_event_loop().create_task(self._consume())
+
+    async def _consume(self) -> None:
+        while True:
+            item = await self._queue.get()
+            try:
+                self._position = int(item)
+            finally:
+                self._queue.task_done()
+
+    async def handle_resync(self, position: int) -> None:
+        # Routed through the queue: only the consumer writes _position.
+        self._requests += 1
+        await self._queue.put(position)
+
+    def sync_adjust(self, position: int) -> None:
+        # Synchronous writers cannot interleave mid-await.
+        self._position = position
+
+
+class NoTask:
+    """Two async writers, but nothing is spawned: no owner to alias."""
+
+    def __init__(self) -> None:
+        self._position = 0
+
+    async def writer_a(self) -> None:
+        self._position = 1
+        await asyncio.sleep(0)
+
+    async def writer_b(self) -> None:
+        self._position = 2
+        await asyncio.sleep(0)

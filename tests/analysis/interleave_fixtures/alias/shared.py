@@ -1,0 +1,38 @@
+"""REPRO023 positives: handler writes state the consumer task owns."""
+
+import asyncio
+
+
+class Pipeline:
+    """A tenant-shaped class: a spawned consumer owns the position."""
+
+    def __init__(self) -> None:
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._position = 0
+        self._applied = 0
+        self._task: object = None
+
+    def start(self) -> None:
+        self._task = asyncio.get_event_loop().create_task(self._consume())
+
+    async def _consume(self) -> None:
+        while True:
+            item = await self._queue.get()
+            try:
+                self._apply(item)
+            finally:
+                self._queue.task_done()
+
+    def _apply(self, item: object) -> None:
+        self._position = self._position + 1
+        self._applied += 1
+
+    async def handle_resync(self, position: int) -> None:
+        # A control handler rewinding the consumer's cursor directly:
+        # the two tasks interleave on _position.
+        self._position = position
+        await asyncio.sleep(0)
+
+    async def handle_reset_stats(self) -> None:
+        self._applied = 0
+        await asyncio.sleep(0)

@@ -1,0 +1,25 @@
+"""REPRO023 suppressed: a blessed direct write into consumer state."""
+
+import asyncio
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._position = 0
+        self._task: object = None
+
+    def start(self) -> None:
+        self._task = asyncio.get_event_loop().create_task(self._consume())
+
+    async def _consume(self) -> None:
+        while True:
+            item = await self._queue.get()
+            try:
+                self._position = int(item)
+            finally:
+                self._queue.task_done()
+
+    async def waived_rewind(self) -> None:
+        self._position = 0  # repro: allow[REPRO023]
+        await asyncio.sleep(0)

@@ -1,0 +1,46 @@
+"""REPRO022 negatives: Exception-only handlers, re-raises, finally."""
+
+import asyncio
+
+
+class Consumer:
+    def __init__(self) -> None:
+        self._lock = asyncio.Lock()
+        self.errors: list = []
+
+    async def catches_exception_only(self) -> None:
+        # ``except Exception`` does not catch CancelledError (it derives
+        # from BaseException since 3.8): the consumer-loop idiom.
+        while True:
+            try:
+                await asyncio.sleep(0)
+            except Exception as exc:
+                self.errors.append(str(exc))
+
+    async def reraises_bare(self) -> None:
+        try:
+            await asyncio.sleep(0)
+        except BaseException:
+            self.errors.append("noted")
+            raise
+
+    async def reraises_named(self) -> None:
+        try:
+            await asyncio.sleep(0)
+        except asyncio.CancelledError as exc:
+            self.errors.append("cancelled")
+            raise exc
+
+    async def acquire_with_finally(self) -> None:
+        await self._lock.acquire()
+        try:
+            await asyncio.sleep(0)
+        finally:
+            self._lock.release()
+
+    def sync_bare_except(self) -> None:
+        # No cancellation can land in a plain function.
+        try:
+            self.errors.clear()
+        except:  # noqa: E722
+            pass

@@ -1,0 +1,33 @@
+"""REPRO022 positives: swallowed cancellation, leaked acquires."""
+
+import asyncio
+
+
+class Consumer:
+    def __init__(self) -> None:
+        self._lock = asyncio.Lock()
+        self.errors: list = []
+
+    async def bare_except_loop(self) -> None:
+        while True:
+            try:
+                await asyncio.sleep(0)
+            except:  # noqa: E722
+                self.errors.append("swallowed")
+
+    async def base_exception_pass(self) -> None:
+        try:
+            await asyncio.sleep(0)
+        except BaseException:
+            pass
+
+    async def eats_cancellation(self) -> None:
+        try:
+            await asyncio.sleep(0)
+        except asyncio.CancelledError:
+            return
+
+    async def acquire_without_finally(self) -> None:
+        await self._lock.acquire()
+        await asyncio.sleep(0)
+        self._lock.release()

@@ -1,0 +1,11 @@
+"""REPRO022 suppressed: a blessed last-resort handler."""
+
+import asyncio
+
+
+class Consumer:
+    async def waived_swallow(self) -> None:
+        try:
+            await asyncio.sleep(0)
+        except BaseException:  # repro: allow[REPRO022]
+            pass

@@ -1,0 +1,17 @@
+"""REPRO020 positives: async calls whose coroutine is discarded."""
+
+import asyncio
+
+
+async def flush_metrics() -> None:
+    await asyncio.sleep(0)
+
+
+async def forgets_the_await() -> None:
+    flush_metrics()
+    await asyncio.sleep(0)
+
+
+def sync_caller_drops_it() -> None:
+    # Same bug from synchronous code: the coroutine never runs at all.
+    flush_metrics()

@@ -1,0 +1,40 @@
+"""REPRO020 negatives: awaited, scheduled, bound, sync, or generator."""
+
+import asyncio
+
+
+async def flush_metrics() -> None:
+    await asyncio.sleep(0)
+
+
+def plain_helper() -> None:
+    pass
+
+
+async def streaming():
+    yield 1
+
+
+async def awaits_properly() -> None:
+    await flush_metrics()
+
+
+async def schedules_it() -> None:
+    await asyncio.create_task(flush_metrics())
+
+
+async def binds_the_coroutine() -> None:
+    coro = flush_metrics()
+    await coro
+
+
+async def calls_sync_helper() -> None:
+    plain_helper()
+    await asyncio.sleep(0)
+
+
+async def iterates_generator() -> None:
+    # An async generator call returns an iterator, not a coroutine;
+    # discarding it is odd but not the REPRO020 bug.
+    streaming()
+    await asyncio.sleep(0)

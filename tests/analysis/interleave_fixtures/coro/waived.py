@@ -1,0 +1,12 @@
+"""REPRO020 suppressed: a deliberately dropped coroutine."""
+
+import asyncio
+
+
+async def flush_metrics() -> None:
+    await asyncio.sleep(0)
+
+
+async def waived_drop() -> None:
+    flush_metrics()  # repro: allow[REPRO020]
+    await asyncio.sleep(0)

@@ -1,0 +1,33 @@
+"""REPRO021 negatives: bounded waits, work outside the section."""
+
+import asyncio
+import time
+from pathlib import Path
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self._lock = asyncio.Lock()
+        self._queue: asyncio.Queue = asyncio.Queue()
+
+    async def blocks_outside_lock(self, path: Path) -> None:
+        text = path.read_text()
+        async with self._lock:
+            self._note(text)
+        time.sleep(0)
+
+    async def bounded_wait_under_lock(self, other: asyncio.Queue) -> None:
+        async with self._lock:
+            await asyncio.wait_for(other.join(), timeout=1.0)
+
+    async def consumer_applies_in_memory(self) -> None:
+        while True:
+            item = await self._queue.get()
+            try:
+                self._note(item)
+                await asyncio.sleep(0)
+            finally:
+                self._queue.task_done()
+
+    def _note(self, item: object) -> None:
+        pass

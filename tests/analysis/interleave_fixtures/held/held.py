@@ -1,0 +1,33 @@
+"""REPRO021 positives: blocking/unbounded work in a critical section."""
+
+import asyncio
+import time
+from pathlib import Path
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self._lock = asyncio.Lock()
+        self._queue: asyncio.Queue = asyncio.Queue()
+
+    async def blocks_under_lock(self) -> None:
+        async with self._lock:
+            time.sleep(0.1)
+
+    async def reads_file_under_lock(self, path: Path) -> str:
+        async with self._lock:
+            return path.read_text()
+
+    async def unbounded_wait_under_lock(self, other: asyncio.Queue) -> None:
+        async with self._lock:
+            await other.join()
+
+    async def blocking_consumer(self, path: Path) -> None:
+        while True:
+            item = await self._queue.get()
+            try:
+                # Blocking IO inside the get()..task_done() window stalls
+                # the whole feed while an item is mid-application.
+                path.write_text(str(item))
+            finally:
+                self._queue.task_done()

@@ -1,0 +1,13 @@
+"""REPRO021 suppressed: a blessed blocking call under a lock."""
+
+import asyncio
+import time
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self._lock = asyncio.Lock()
+
+    async def waived_block(self) -> None:
+        async with self._lock:
+            time.sleep(0)  # repro: allow[REPRO021]

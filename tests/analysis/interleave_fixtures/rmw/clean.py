@@ -1,0 +1,40 @@
+"""REPRO018 negatives: atomic claims, cleanup writes, local reads."""
+
+import asyncio
+
+
+class Daemon:
+    def __init__(self) -> None:
+        self._active = False
+        self._total = 0
+        self._started = 0.0
+
+    async def synchronous_claim(self) -> None:
+        # The fixed daemon idiom: claim before the first await, unwind
+        # in cleanup on failure. The except-handler write is
+        # compensation, not a claim, and must stay clean.
+        if self._active:
+            raise RuntimeError("already started")
+        self._active = True
+        try:
+            await asyncio.sleep(0)
+        except BaseException:
+            self._active = False
+            raise
+        self._started = 1.0
+
+    async def read_before_await_only(self) -> int:
+        snapshot = self._total
+        await asyncio.sleep(0)
+        return snapshot + 1
+
+    async def write_then_guard(self) -> None:
+        self._total = 1
+        await asyncio.sleep(0)
+        if self._total > 0:
+            return
+
+    def sync_guard_and_write(self) -> None:
+        # No awaits can interleave a plain function.
+        if self._total > 0:
+            self._total = 0

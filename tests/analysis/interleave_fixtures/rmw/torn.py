@@ -1,0 +1,35 @@
+"""REPRO018 positives: read-modify-write spanning an await point."""
+
+import asyncio
+
+
+async def fetch_delta() -> int:
+    await asyncio.sleep(0)
+    return 1
+
+
+class Daemon:
+    def __init__(self) -> None:
+        self._control: object = None
+        self._total = 0
+        self._applied = 0
+
+    async def start_guard_races(self) -> None:
+        # The seed daemon's double-start bug: the check passes in
+        # segment 0 but the claim lands only after two awaits.
+        if self._control is not None:
+            raise RuntimeError("already started")
+        await asyncio.sleep(0)
+        await asyncio.sleep(0)
+        self._control = object()
+
+    async def one_statement_rmw(self) -> None:
+        self._total = self._total + await fetch_delta()
+
+    async def augmented_rmw(self) -> None:
+        self._applied += await fetch_delta()
+
+    async def stale_alias_writeback(self) -> None:
+        snapshot = self._total
+        await asyncio.sleep(0)
+        self._total = snapshot + 1

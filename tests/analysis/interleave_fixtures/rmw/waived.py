@@ -1,0 +1,13 @@
+"""REPRO018 suppressed: a deliberately benign check-then-write."""
+
+import asyncio
+
+
+class Sampler:
+    def __init__(self) -> None:
+        self._warmups = 0
+
+    async def waived_guard(self) -> None:
+        if self._warmups == 0:  # repro: allow[REPRO018]
+            await asyncio.sleep(0)
+            self._warmups = 1

@@ -1,0 +1,24 @@
+"""REPRO019 positives: spawned tasks nobody observes."""
+
+import asyncio
+
+
+async def work(name: str) -> None:
+    await asyncio.sleep(0)
+
+
+async def discarded_on_the_spot() -> None:
+    asyncio.create_task(work("a"))
+    await asyncio.sleep(0)
+
+
+async def cancel_only_replay(names: list) -> None:
+    # The seed __main__ bug shape: feeders are spawned, and the only
+    # thing ever done with the handles is cancel() — exceptions vanish.
+    feeders = [asyncio.ensure_future(work(name)) for name in names]
+    try:
+        await asyncio.sleep(0)
+    finally:
+        for feeder in feeders:
+            if not feeder.done():
+                feeder.cancel()

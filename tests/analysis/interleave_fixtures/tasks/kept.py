@@ -1,0 +1,49 @@
+"""REPRO019 negatives: every handle reaches an exception sink."""
+
+import asyncio
+
+
+async def work(name: str) -> None:
+    await asyncio.sleep(0)
+
+
+async def awaited_inline() -> None:
+    await asyncio.create_task(work("a"))
+
+
+async def gathered_after_cancel(names: list) -> None:
+    # The fixed __main__ shape: cancel, then gather to surface errors.
+    feeders = [asyncio.ensure_future(work(name)) for name in names]
+    try:
+        await asyncio.sleep(0)
+    finally:
+        for feeder in feeders:
+            if not feeder.done():
+                feeder.cancel()
+        await asyncio.gather(*feeders, return_exceptions=True)
+
+
+async def callback_sink() -> None:
+    task = asyncio.create_task(work("a"))
+    task.add_done_callback(lambda t: t.exception())
+    await asyncio.sleep(0)
+
+
+async def returned_to_caller():
+    return asyncio.create_task(work("a"))
+
+
+async def task_group_children() -> None:
+    async with asyncio.TaskGroup() as tg:
+        tg.create_task(work("a"))
+        tg.create_task(work("b"))
+
+
+class Owner:
+    def __init__(self) -> None:
+        self._task: object = None
+
+    def stored_on_self(self) -> None:
+        # The tenant idiom: the handle lives on the instance; stop()
+        # joins it later. Ownership is retained, so this is clean.
+        self._task = asyncio.get_event_loop().create_task(work("a"))

@@ -1,0 +1,12 @@
+"""REPRO019 suppressed: a blessed fire-and-forget telemetry task."""
+
+import asyncio
+
+
+async def emit(sample: float) -> None:
+    await asyncio.sleep(0)
+
+
+async def blessed_telemetry() -> None:
+    asyncio.create_task(emit(1.0))  # repro: allow[REPRO019]
+    await asyncio.sleep(0)

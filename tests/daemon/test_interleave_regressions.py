@@ -1,0 +1,202 @@
+"""Regressions for the interleaving bugs the REPRO018/019 pass caught.
+
+Three genuine daemon findings were fixed rather than baselined (the
+PR 5/6 precedent): ``AggregationDaemon.start`` checked ``_control``
+before its first await but only wrote it two awaits later, so two
+concurrent ``start()`` calls could both pass the guard and bind twice;
+``Tenant.stop`` had the same check-then-await shape, letting two
+concurrent stops enqueue two STOP sentinels and race on the consumer
+handle; and ``__main__._serve`` spawned replay feeders with
+``ensure_future`` and only ever ``cancel()``-ed them, so a replay
+failure was silently swallowed. These tests drive the *fixed*
+interleavings end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.daemon.__main__ import _serve
+from repro.daemon.server import AggregationDaemon
+from repro.daemon.tenant import Tenant, TenantConfig
+from repro.net.nexthop import Nexthop
+from repro.net.prefix import Prefix
+from repro.net.update import RouteUpdate
+
+NH = Nexthop(1, "nh1")
+
+
+def announce(bits: str, ts: float = 0.0) -> RouteUpdate:
+    return RouteUpdate.announce(Prefix.from_bits(bits, 32), NH, ts)
+
+
+# -- Tenant.stop under concurrency (REPRO018 fix) -------------------------
+
+
+async def concurrent_stops_join_one_task() -> None:
+    tenant = Tenant(TenantConfig(name="r1"))
+    tenant.start()
+    await tenant.feed_update(announce("1"))
+    await tenant.feed_update(announce("01"))
+
+    # Two stops race: exactly one STOP sentinel is queued, both join the
+    # same consumer task, and the queue is fully drained either way.
+    await asyncio.gather(tenant.stop(), tenant.stop())
+    assert tenant.running is False
+    assert tenant.manager_summary["updates_received"] == 2.0
+
+    # Late stop on an already-stopped tenant is a no-op, and close works.
+    await tenant.stop()
+    tenant.close()
+
+
+def test_concurrent_stops_join_one_task() -> None:
+    asyncio.run(concurrent_stops_join_one_task())
+
+
+async def staggered_stop_joins_in_flight_stop() -> None:
+    tenant = Tenant(TenantConfig(name="r1"))
+    tenant.start()
+    await tenant.feed_update(announce("1"))
+
+    first = asyncio.ensure_future(tenant.stop())
+    # Let the first stop pass its claim and park on the consumer join,
+    # then race a second stop against it mid-flight.
+    await asyncio.sleep(0)
+    await tenant.stop()
+    await first
+    assert tenant.running is False
+    tenant.close()
+
+
+def test_staggered_stop_joins_in_flight_stop() -> None:
+    asyncio.run(staggered_stop_joins_in_flight_stop())
+
+
+# -- AggregationDaemon.start under concurrency (REPRO018 fix) -------------
+
+
+async def concurrent_starts_bind_once() -> None:
+    daemon = AggregationDaemon()
+    results = await asyncio.gather(
+        daemon.start(), daemon.start(), return_exceptions=True
+    )
+    errors = [r for r in results if isinstance(r, BaseException)]
+    assert len(errors) == 1
+    assert isinstance(errors[0], RuntimeError)
+    assert "already started" in str(errors[0])
+    # The winner is fully up: both ports are bound and usable.
+    assert daemon.control_port > 0
+    assert daemon.metrics_port > 0
+    await daemon.stop()
+
+
+def test_concurrent_starts_bind_once() -> None:
+    asyncio.run(concurrent_starts_bind_once())
+
+
+async def failed_start_can_be_retried() -> None:
+    # Occupy a port so the daemon's *second* bind (metrics) fails after
+    # the control socket already bound: start() must unwind the partial
+    # state — close the control socket, drop the active claim — and a
+    # retry on free ports must succeed.
+    async def refuse(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.close()
+
+    blocker = await asyncio.start_server(refuse, "127.0.0.1", 0)
+    taken = blocker.sockets[0].getsockname()[1]
+    daemon = AggregationDaemon()
+    try:
+        with pytest.raises(OSError):
+            await daemon.start(metrics_port=taken)
+        with pytest.raises(RuntimeError, match="not started"):
+            daemon.control_port
+        await daemon.start()
+        assert daemon.control_port > 0
+        await daemon.stop()
+        # After a clean stop the daemon can start again from scratch.
+        await daemon.start()
+        await daemon.stop()
+    finally:
+        blocker.close()
+        await blocker.wait_closed()
+
+
+def test_failed_start_can_be_retried() -> None:
+    asyncio.run(failed_start_can_be_retried())
+
+
+# -- __main__ feeder join (REPRO019 fix) ----------------------------------
+
+
+async def serve_surfaces_feeder_failure() -> None:
+    import repro.daemon.__main__ as daemon_main
+
+    daemon = AggregationDaemon()
+    daemon.add_tenant(TenantConfig(name="r1"), start=False)
+    original = daemon_main.load_and_feed
+
+    async def exploding_feed(*args: object, **kwargs: object) -> None:
+        raise ValueError("boom")
+
+    daemon_main.load_and_feed = exploding_feed  # type: ignore[assignment]
+    try:
+        server = asyncio.ensure_future(
+            _serve(
+                daemon,
+                "127.0.0.1",
+                0,
+                0,
+                replays=[("r1", [announce("1")])],
+                batch_size=None,
+                burst_gap_s=None,
+                end_of_rib=False,
+            )
+        )
+        # Let the daemon come up and the feeder explode, then shut down.
+        for _ in range(10):
+            await asyncio.sleep(0)
+        daemon.shutdown_requested.set()
+        await server
+    finally:
+        daemon_main.load_and_feed = original  # type: ignore[assignment]
+
+
+def test_serve_surfaces_feeder_failure(capsys: pytest.CaptureFixture) -> None:
+    asyncio.run(serve_surfaces_feeder_failure())
+    out = capsys.readouterr().out
+    assert "replay into 'r1' failed: boom" in out
+
+
+async def serve_stays_quiet_when_feeders_are_cancelled() -> None:
+    daemon = AggregationDaemon()
+    daemon.add_tenant(TenantConfig(name="r1"), start=False)
+    server = asyncio.ensure_future(
+        _serve(
+            daemon,
+            "127.0.0.1",
+            0,
+            0,
+            # A paced replay guaranteed to still be in flight at shutdown.
+            replays=[("r1", [announce("1"), announce("01")])],
+            batch_size=None,
+            burst_gap_s=30.0,
+            end_of_rib=False,
+        )
+    )
+    for _ in range(10):
+        await asyncio.sleep(0)
+    daemon.shutdown_requested.set()
+    await server
+
+
+def test_cancelled_feeders_are_not_reported(
+    capsys: pytest.CaptureFixture,
+) -> None:
+    asyncio.run(serve_stays_quiet_when_feeders_are_cancelled())
+    out = capsys.readouterr().out
+    assert "failed" not in out

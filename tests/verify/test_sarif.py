@@ -1,5 +1,4 @@
-"""SARIF conformance and fingerprint-stability tests for all three
-passes.
+"""SARIF conformance and fingerprint-stability tests for every pass.
 
 The container has no ``jsonschema`` package, so a tiny hand-written
 validator interprets the vendored minimal schema
@@ -20,11 +19,13 @@ from repro.verify.cli import rule_index
 from repro.verify.effects import analyze_effects
 from repro.verify.flow import analyze as flow_analyze
 from repro.verify.flow.report import Finding, render_sarif
+from repro.verify.interleave import analyze_interleave
 
 HERE = Path(__file__).resolve().parent
 SCHEMA = json.loads((HERE / "sarif_schema_2_1_0.json").read_text(encoding="utf-8"))
 FIXTURES = HERE / "effects_fixtures"
 FLOW_FIXTURES = HERE / "flow_fixtures"
+INTERLEAVE_FIXTURES = HERE.parent / "analysis" / "interleave_fixtures"
 
 
 def validate(instance: object, schema: dict = SCHEMA) -> list[str]:
@@ -153,13 +154,26 @@ class TestSarifConformance:
         assert validate(doc) == []
         assert doc["runs"][0]["results"]
 
+    def test_interleave_cli_sarif_validates(self) -> None:
+        from repro.verify.interleave.cli import main as interleave_main
+
+        doc = _sarif_from_cli(
+            interleave_main,
+            [str(INTERLEAVE_FIXTURES / "tasks"), "--format", "sarif"],
+        )
+        assert validate(doc) == []
+        assert doc["runs"][0]["results"]
+
     def test_umbrella_sarif_merges_all_passes(self, tmp_path) -> None:
-        # One file violating a lint rule (REPRO003 wall clock), analyzed
-        # together with effect-rule fixtures: the merged document must
-        # carry rule metadata for every pass and still validate.
+        # One file violating a lint rule (REPRO003 wall clock) plus a
+        # dropped coroutine (REPRO020), analyzed together with
+        # effect-rule idioms: the merged document must carry rule
+        # metadata for every pass and still validate.
         sample = tmp_path / "mixed.py"
         sample.write_text(
-            "import time\n\n\ndef stamp():\n    return time.time()\n",
+            "import time\n\n\ndef stamp():\n    return time.time()\n\n\n"
+            "async def helper():\n    return 1\n\n\n"
+            "async def top():\n    helper()\n",
             encoding="utf-8",
         )
         doc = _sarif_from_cli(verify_main, [str(tmp_path), "--format", "sarif"])
@@ -167,6 +181,7 @@ class TestSarifConformance:
         rule_ids = {r["ruleId"] for r in doc["runs"][0]["results"]}
         assert "REPRO003" in rule_ids  # lint pass
         assert "REPRO014" in rule_ids  # effects pass
+        assert "REPRO020" in rule_ids  # interleave pass
         declared = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
         assert set(rule_index()) == declared
 
@@ -199,16 +214,27 @@ class TestFingerprintStability:
             ("lint", None, {}),
             ("flow", flow_analyze, {"select": frozenset({"REPRO007"})}),
             ("effects", analyze_effects, {"select": frozenset({"REPRO014"})}),
+            (
+                "interleave",
+                analyze_interleave,
+                {"select": frozenset({"REPRO018"})},
+            ),
         ],
     )
     def test_line_shift_preserves_fingerprints(
         self, tmp_path, fixture, runner, kwargs
     ) -> None:
         body = (
+            "import asyncio\n"
             "import time\n"
             "def walk(node):\n"
             "    t = time.time()\n"
             "    return walk(node) + t\n"
+            "class Daemon:\n"
+            "    async def start(self):\n"
+            "        if self._control is None:\n"
+            "            await asyncio.sleep(0)\n"
+            "            self._control = walk(None)\n"
         )
         target = tmp_path / f"{fixture}_case.py"
         target.write_text(body, encoding="utf-8")

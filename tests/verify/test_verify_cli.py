@@ -14,6 +14,7 @@ from repro.verify.cli import (
     ALL_CODES,
     EFFECT_CODES,
     FLOW_CODES,
+    INTERLEAVE_CODES,
     LINT_CODES,
     diff_scope,
     main,
@@ -47,12 +48,14 @@ def run_cli(argv) -> tuple[int, str, str]:
 
 
 class TestCodeRouting:
-    def test_the_three_passes_partition_the_codes(self) -> None:
+    def test_the_passes_partition_the_codes(self) -> None:
         assert LINT_CODES == {f"REPRO00{i}" for i in range(1, 7)}
         assert FLOW_CODES == {f"REPRO0{i:02d}" for i in range(7, 13)}
         assert EFFECT_CODES == {f"REPRO0{i:02d}" for i in range(13, 18)}
+        assert INTERLEAVE_CODES == {f"REPRO0{i:02d}" for i in range(18, 24)}
         assert not (LINT_CODES & FLOW_CODES)
         assert not (FLOW_CODES & EFFECT_CODES)
+        assert not (EFFECT_CODES & INTERLEAVE_CODES)
         assert rule_index().keys() == ALL_CODES
 
     def test_unknown_select_is_a_usage_error(self, tmp_path) -> None:
@@ -104,7 +107,7 @@ class TestExitContract:
     def test_list_rules_covers_all_passes(self) -> None:
         code, out, _ = run_cli(["--list-rules"])
         assert code == 0
-        for probe in ("REPRO001", "REPRO007", "REPRO013", "REPRO017"):
+        for probe in ("REPRO001", "REPRO007", "REPRO013", "REPRO017", "REPRO018", "REPRO023"):
             assert probe in out
 
 
@@ -121,7 +124,12 @@ class TestRepoGates:
         import sys
 
         env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
-        for module in ("repro.verify.lint", "repro.verify.flow", "repro.verify.effects"):
+        for module in (
+            "repro.verify.lint",
+            "repro.verify.flow",
+            "repro.verify.effects",
+            "repro.verify.interleave",
+        ):
             proc = subprocess.run(
                 [sys.executable, "-m", module, "--list-rules"],
                 capture_output=True,
@@ -192,7 +200,7 @@ class TestDiffScope:
 
 
 class TestWriteBaseline:
-    def test_write_baseline_records_both_files(self, tmp_path, monkeypatch) -> None:
+    def test_write_baseline_records_all_files(self, tmp_path, monkeypatch) -> None:
         (tmp_path / "pyproject.toml").write_text("[project]\nname='t'\n", encoding="utf-8")
         pkg = tmp_path / "pkg"
         pkg.mkdir()
@@ -216,8 +224,42 @@ class TestWriteBaseline:
         effects_payload = json.loads(
             (tmp_path / ".effects-baseline.json").read_text(encoding="utf-8")
         )
+        interleave_payload = json.loads(
+            (tmp_path / ".interleave-baseline.json").read_text(encoding="utf-8")
+        )
         assert len(flow_payload["fingerprints"]) == 1  # the REPRO007 cycle
         assert effects_payload["fingerprints"] == {}
+        assert interleave_payload["fingerprints"] == {}
         # A rerun now subtracts the recorded finding and exits clean.
         code, out, _ = run_cli([str(pkg)])
+        assert code == 0, out
+
+    def test_write_baseline_records_interleave_findings(self, tmp_path) -> None:
+        (tmp_path / "pyproject.toml").write_text(
+            "[project]\nname='t'\n", encoding="utf-8"
+        )
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "spawny.py").write_text(
+            "import asyncio\n"
+            "\n"
+            "\n"
+            "async def work():\n"
+            "    await asyncio.sleep(0)\n"
+            "\n"
+            "\n"
+            "async def fires_and_forgets():\n"
+            "    asyncio.create_task(work())\n"
+            "    await asyncio.sleep(0)\n",
+            encoding="utf-8",
+        )
+        code, _, _ = run_cli([str(pkg), "--select", "REPRO019"])
+        assert code == 1
+        code, out, _ = run_cli([str(pkg), "--write-baseline"])
+        assert code == 0
+        payload = json.loads(
+            (tmp_path / ".interleave-baseline.json").read_text(encoding="utf-8")
+        )
+        assert len(payload["fingerprints"]) == 1  # the REPRO019 spawn
+        code, out, _ = run_cli([str(pkg), "--select", "REPRO019"])
         assert code == 0, out
